@@ -1,0 +1,35 @@
+// Command objstored runs the plain S3/MinIO-like object store with its
+// SelectObjectContent API — the conventional-storage baseline the Hive
+// connector talks to.
+//
+//	objstored [-listen 127.0.0.1:9750]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"prestocs/internal/objstore"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9750", "listen address")
+	flag.Parse()
+
+	srv := objstore.NewServer(objstore.NewStore())
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("objstored: %v", err)
+	}
+	fmt.Printf("object store listening on %s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+}

@@ -1,0 +1,57 @@
+// Command ocsd runs an OCS deployment: N storage nodes plus the frontend
+// that applications (and the Presto-OCS connector) talk to.
+//
+//	ocsd [-listen 127.0.0.1:7app] [-nodes 1] [-node-listen 127.0.0.1:0]
+//
+// The frontend address is printed on startup; pass it to prestolite via
+// -ocs, or to examples via OCS_ADDR. ocsd runs until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"prestocs/internal/ocsserver"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9740", "frontend listen address")
+	nodes := flag.Int("nodes", 1, "storage node count")
+	nodeListen := flag.String("node-listen", "127.0.0.1:0", "storage node listen address pattern (port 0 = ephemeral)")
+	flag.Parse()
+
+	if *nodes <= 0 {
+		log.Fatal("ocsd: -nodes must be positive")
+	}
+	var nodeAddrs []string
+	var storageNodes []*ocsserver.StorageNode
+	for i := 0; i < *nodes; i++ {
+		node := ocsserver.NewStorageNode(i)
+		addr, err := node.Listen(*nodeListen)
+		if err != nil {
+			log.Fatalf("ocsd: storage node %d: %v", i, err)
+		}
+		fmt.Printf("storage node %d listening on %s\n", i, addr)
+		nodeAddrs = append(nodeAddrs, addr)
+		storageNodes = append(storageNodes, node)
+	}
+	frontend := ocsserver.NewFrontend(nodeAddrs)
+	addr, err := frontend.Listen(*listen)
+	if err != nil {
+		log.Fatalf("ocsd: frontend: %v", err)
+	}
+	fmt.Printf("OCS frontend listening on %s (%d storage nodes)\n", addr, *nodes)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	frontend.Close()
+	for _, n := range storageNodes {
+		n.Close()
+	}
+}

@@ -1,0 +1,111 @@
+// Command prestolite is the SQL CLI: a single-process coordinator+worker
+// engine wired to an OCS frontend (ocs catalog) and optionally a plain
+// object store (hive catalog), using the catalog JSON datagen wrote.
+//
+//	prestolite -catalog catalog.json -ocs <frontend-addr> [-objstore <addr>]
+//	           [-pushdown all|none|filter|...|auto] [-explain] "SELECT ..."
+//
+// Without a query argument it reads statements from stdin, one per line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"prestocs/internal/connector/hive"
+	ocsconn "prestocs/internal/connector/ocs"
+	"prestocs/internal/engine"
+	"prestocs/internal/metastore"
+	"prestocs/internal/objstore"
+	"prestocs/internal/ocsserver"
+)
+
+func main() {
+	catalogPath := flag.String("catalog", "catalog.json", "catalog JSON written by datagen")
+	ocsAddr := flag.String("ocs", "", "OCS frontend address (required)")
+	objAddr := flag.String("objstore", "", "plain object store address (optional, enables hive catalog)")
+	pushdown := flag.String("pushdown", "all", "ocs pushdown mode (none, filter, ..., all, auto)")
+	explain := flag.Bool("explain", false, "print the optimized plan before results")
+	flag.Parse()
+
+	if *ocsAddr == "" {
+		log.Fatal("prestolite: -ocs is required")
+	}
+	ms, err := metastore.Load(*catalogPath)
+	if err != nil {
+		log.Fatalf("prestolite: loading catalog: %v", err)
+	}
+
+	eng := engine.New()
+	eng.DefaultCatalog = "ocs"
+	ocsCli := ocsserver.NewClient(*ocsAddr)
+	defer ocsCli.Close()
+	conn := ocsconn.New("ocs", ms, ocsCli)
+	eng.AddConnector(conn)
+	eng.AddEventListener(conn.Monitor())
+	if *objAddr != "" {
+		objCli := objstore.NewClient(*objAddr)
+		defer objCli.Close()
+		eng.AddConnector(hive.New("hive", ms, objCli))
+	}
+
+	run := func(sql string) {
+		sql = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
+		if sql == "" {
+			return
+		}
+		session := engine.NewSession().Set(ocsconn.SessionPushdown, *pushdown)
+		start := time.Now()
+		res, err := eng.Execute(sql, session)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		if *explain {
+			fmt.Println(res.Stats.PlanText)
+		}
+		printResult(res)
+		scan := res.Stats.Scan.Snapshot()
+		fmt.Printf("-- %d rows in %v; pushed=%v; moved=%d bytes over %d splits\n",
+			res.Page.NumRows(), time.Since(start).Round(time.Millisecond),
+			res.Stats.PushedDown, scan.BytesMoved, res.Stats.Splits)
+	}
+
+	if flag.NArg() > 0 {
+		run(strings.Join(flag.Args(), " "))
+		return
+	}
+	fmt.Println("prestolite: enter SQL, one statement per line (ctrl-D to exit)")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("sql> ")
+		if !scanner.Scan() {
+			break
+		}
+		run(scanner.Text())
+	}
+}
+
+func printResult(res *engine.Result) {
+	names := res.Schema.Names()
+	fmt.Println(strings.Join(names, " | "))
+	n := res.Page.NumRows()
+	const maxRows = 100
+	for i := 0; i < n && i < maxRows; i++ {
+		row := res.Page.Row(i)
+		parts := make([]string, len(row))
+		for c, v := range row {
+			parts[c] = v.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	if n > maxRows {
+		fmt.Printf("... (%d more rows)\n", n-maxRows)
+	}
+}

@@ -1,0 +1,3 @@
+module prestocs
+
+go 1.22

@@ -1,0 +1,485 @@
+// Package arrowlite implements an Apache Arrow-like columnar IPC stream:
+// a schema message followed by record batches, each encoded as validity
+// bitmaps plus typed little-endian value buffers (offsets + data for
+// strings). OCS returns query results in this format and the Presto-OCS
+// connector's PageSourceProvider deserializes it back into engine pages,
+// mirroring the paper's Arrow result path.
+//
+// Stream layout:
+//
+//	magic "ARL1"
+//	u32 schemaLen | schema message
+//	repeated: u32 batchLen | batch message   (batchLen > 0)
+//	u32 0  — end-of-stream marker
+//
+// All integers are little-endian. Validity bitmaps are LSB-first packed
+// bits, 1 = valid (Arrow convention).
+package arrowlite
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"prestocs/internal/column"
+	"prestocs/internal/types"
+)
+
+// Magic identifies an arrowlite stream.
+var Magic = []byte("ARL1")
+
+// ErrCorrupt reports a malformed stream.
+var ErrCorrupt = errors.New("arrowlite: corrupt stream")
+
+// kindCode maps types.Kind to a stable on-wire code.
+func kindCode(k types.Kind) (uint8, error) {
+	switch k {
+	case types.Int64:
+		return 1, nil
+	case types.Float64:
+		return 2, nil
+	case types.String:
+		return 3, nil
+	case types.Bool:
+		return 4, nil
+	case types.Date:
+		return 5, nil
+	default:
+		return 0, fmt.Errorf("arrowlite: unsupported kind %v", k)
+	}
+}
+
+func codeKind(c uint8) (types.Kind, error) {
+	switch c {
+	case 1:
+		return types.Int64, nil
+	case 2:
+		return types.Float64, nil
+	case 3:
+		return types.String, nil
+	case 4:
+		return types.Bool, nil
+	case 5:
+		return types.Date, nil
+	default:
+		return types.Unknown, fmt.Errorf("arrowlite: unknown kind code %d", c)
+	}
+}
+
+// Writer emits an arrowlite stream.
+type Writer struct {
+	w      io.Writer
+	schema *types.Schema
+	closed bool
+	n      int64 // bytes written
+}
+
+// NewWriter writes the magic and schema message and returns a batch writer.
+func NewWriter(w io.Writer, schema *types.Schema) (*Writer, error) {
+	aw := &Writer{w: w, schema: schema}
+	if err := aw.writeRaw(Magic); err != nil {
+		return nil, err
+	}
+	msg, err := encodeSchema(schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := aw.writeBlock(msg); err != nil {
+		return nil, err
+	}
+	return aw, nil
+}
+
+// BytesWritten returns the total bytes emitted so far.
+func (w *Writer) BytesWritten() int64 { return w.n }
+
+func (w *Writer) writeRaw(b []byte) error {
+	n, err := w.w.Write(b)
+	w.n += int64(n)
+	return err
+}
+
+func (w *Writer) writeBlock(b []byte) error {
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(b)))
+	if err := w.writeRaw(lenBuf[:]); err != nil {
+		return err
+	}
+	return w.writeRaw(b)
+}
+
+// WriteBatch appends one record batch. The page's schema must match the
+// writer's schema kinds.
+func (w *Writer) WriteBatch(page *column.Page) error {
+	if w.closed {
+		return errors.New("arrowlite: write after Close")
+	}
+	if page.NumCols() != w.schema.Len() {
+		return fmt.Errorf("arrowlite: batch has %d cols, schema has %d", page.NumCols(), w.schema.Len())
+	}
+	msg, err := encodeBatch(page)
+	if err != nil {
+		return err
+	}
+	if len(msg) == 0 {
+		// A zero block length is the end marker; pad empty batches so
+		// they stay distinguishable. encodeBatch always emits the row
+		// count, so this cannot happen, but guard anyway.
+		return errors.New("arrowlite: empty batch message")
+	}
+	return w.writeBlock(msg)
+}
+
+// Close writes the end-of-stream marker.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var z [4]byte
+	return w.writeRaw(z[:])
+}
+
+func encodeSchema(s *types.Schema) ([]byte, error) {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Len()))
+	for _, c := range s.Columns {
+		code, err := kindCode(c.Type)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, code)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Name)))
+		buf = append(buf, c.Name...)
+	}
+	return buf, nil
+}
+
+func decodeSchema(b []byte) (*types.Schema, error) {
+	if len(b) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	cols := make([]types.Column, 0, n)
+	for i := uint32(0); i < n; i++ {
+		if len(b) < 5 {
+			return nil, ErrCorrupt
+		}
+		kind, err := codeKind(b[0])
+		if err != nil {
+			return nil, err
+		}
+		nameLen := binary.LittleEndian.Uint32(b[1:5])
+		b = b[5:]
+		if uint32(len(b)) < nameLen {
+			return nil, ErrCorrupt
+		}
+		cols = append(cols, types.Column{Name: string(b[:nameLen]), Type: kind})
+		b = b[nameLen:]
+	}
+	if len(b) != 0 {
+		return nil, ErrCorrupt
+	}
+	return types.NewSchema(cols...), nil
+}
+
+// packBits packs a bool slice LSB-first; true bits set.
+func packBits(bits []bool) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b {
+			out[i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+	return out
+}
+
+func unpackBits(data []byte, n int) ([]bool, error) {
+	if len(data) < (n+7)/8 {
+		return nil, ErrCorrupt
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = data[i/8]&(1<<(uint(i)%8)) != 0
+	}
+	return out, nil
+}
+
+func encodeBatch(page *column.Page) ([]byte, error) {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(page.NumRows()))
+	n := page.NumRows()
+	for _, v := range page.Vectors {
+		// Validity bitmap: 1 = valid.
+		valid := make([]bool, n)
+		for i := 0; i < n; i++ {
+			valid[i] = !v.IsNull(i)
+		}
+		bm := packBits(valid)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(bm)))
+		buf = append(buf, bm...)
+
+		switch v.Kind {
+		case types.Int64, types.Date:
+			for _, x := range v.Ints {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
+			}
+		case types.Float64:
+			for _, x := range v.Floats {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+			}
+		case types.Bool:
+			bb := packBits(v.Bools)
+			buf = append(buf, bb...)
+		case types.String:
+			// Offsets (n+1 x u32) then concatenated bytes.
+			off := uint32(0)
+			buf = binary.LittleEndian.AppendUint32(buf, off)
+			for _, s := range v.Strings {
+				off += uint32(len(s))
+				buf = binary.LittleEndian.AppendUint32(buf, off)
+			}
+			for _, s := range v.Strings {
+				buf = append(buf, s...)
+			}
+		default:
+			return nil, fmt.Errorf("arrowlite: unsupported vector kind %v", v.Kind)
+		}
+	}
+	return buf, nil
+}
+
+func decodeBatch(b []byte, schema *types.Schema) (*column.Page, error) {
+	if len(b) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	page := column.NewPage(schema)
+	for ci, col := range schema.Columns {
+		if len(b) < 4 {
+			return nil, ErrCorrupt
+		}
+		bmLen := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if len(b) < bmLen {
+			return nil, ErrCorrupt
+		}
+		valid, err := unpackBits(b[:bmLen], n)
+		if err != nil {
+			return nil, err
+		}
+		b = b[bmLen:]
+		vec := page.Vectors[ci]
+		switch col.Type {
+		case types.Int64, types.Date:
+			if len(b) < 8*n {
+				return nil, ErrCorrupt
+			}
+			for i := 0; i < n; i++ {
+				x := int64(binary.LittleEndian.Uint64(b[8*i:]))
+				appendMaybeNull(vec, valid[i], types.Value{Kind: col.Type, I: x})
+			}
+			b = b[8*n:]
+		case types.Float64:
+			if len(b) < 8*n {
+				return nil, ErrCorrupt
+			}
+			for i := 0; i < n; i++ {
+				x := math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+				appendMaybeNull(vec, valid[i], types.FloatValue(x))
+			}
+			b = b[8*n:]
+		case types.Bool:
+			bb := (n + 7) / 8
+			if len(b) < bb {
+				return nil, ErrCorrupt
+			}
+			vals, err := unpackBits(b[:bb], n)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < n; i++ {
+				appendMaybeNull(vec, valid[i], types.BoolValue(vals[i]))
+			}
+			b = b[bb:]
+		case types.String:
+			need := 4 * (n + 1)
+			if len(b) < need {
+				return nil, ErrCorrupt
+			}
+			offsets := make([]uint32, n+1)
+			for i := range offsets {
+				offsets[i] = binary.LittleEndian.Uint32(b[4*i:])
+			}
+			b = b[need:]
+			total := int(offsets[n])
+			if len(b) < total {
+				return nil, ErrCorrupt
+			}
+			data := b[:total]
+			b = b[total:]
+			for i := 0; i < n; i++ {
+				if offsets[i] > offsets[i+1] || int(offsets[i+1]) > total {
+					return nil, ErrCorrupt
+				}
+				s := string(data[offsets[i]:offsets[i+1]])
+				appendMaybeNull(vec, valid[i], types.StringValue(s))
+			}
+		default:
+			return nil, fmt.Errorf("arrowlite: unsupported kind %v", col.Type)
+		}
+	}
+	if len(b) != 0 {
+		return nil, ErrCorrupt
+	}
+	return page, nil
+}
+
+func appendMaybeNull(vec *column.Vector, valid bool, v types.Value) {
+	if !valid {
+		vec.Append(types.NullValue(vec.Kind))
+		return
+	}
+	vec.Append(v)
+}
+
+// Reader consumes an arrowlite stream.
+type Reader struct {
+	r      io.Reader
+	schema *types.Schema
+	done   bool
+	n      int64
+}
+
+// NewReader validates the magic and reads the schema message.
+func NewReader(r io.Reader) (*Reader, error) {
+	ar := &Reader{r: r}
+	magic := make([]byte, len(Magic))
+	if err := ar.readFull(magic); err != nil {
+		return nil, fmt.Errorf("arrowlite: reading magic: %w", err)
+	}
+	if string(magic) != string(Magic) {
+		return nil, ErrCorrupt
+	}
+	block, err := ar.readBlock()
+	if err != nil {
+		return nil, err
+	}
+	if block == nil {
+		return nil, ErrCorrupt // end marker in place of schema
+	}
+	schema, err := decodeSchema(block)
+	if err != nil {
+		return nil, err
+	}
+	ar.schema = schema
+	return ar, nil
+}
+
+// Schema returns the stream schema.
+func (r *Reader) Schema() *types.Schema { return r.schema }
+
+// BytesRead returns the total bytes consumed so far.
+func (r *Reader) BytesRead() int64 { return r.n }
+
+func (r *Reader) readFull(b []byte) error {
+	n, err := io.ReadFull(r.r, b)
+	r.n += int64(n)
+	return err
+}
+
+// readBlock returns nil, nil at the end-of-stream marker.
+func (r *Reader) readBlock() ([]byte, error) {
+	var lenBuf [4]byte
+	if err := r.readFull(lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("arrowlite: reading block length: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n == 0 {
+		return nil, nil
+	}
+	block := make([]byte, n)
+	if err := r.readFull(block); err != nil {
+		return nil, fmt.Errorf("arrowlite: reading block body: %w", err)
+	}
+	return block, nil
+}
+
+// Next returns the next record batch, or io.EOF after the end marker.
+func (r *Reader) Next() (*column.Page, error) {
+	if r.done {
+		return nil, io.EOF
+	}
+	block, err := r.readBlock()
+	if err != nil {
+		return nil, err
+	}
+	if block == nil {
+		r.done = true
+		return nil, io.EOF
+	}
+	return decodeBatch(block, r.schema)
+}
+
+// Serialize encodes pages into a single in-memory stream.
+func Serialize(schema *types.Schema, pages []*column.Page) ([]byte, error) {
+	var buf sliceWriter
+	w, err := NewWriter(&buf, schema)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pages {
+		if err := w.WriteBatch(p); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Deserialize decodes a full stream into its schema and pages.
+func Deserialize(data []byte) (*types.Schema, []*column.Page, error) {
+	r, err := NewReader(&byteReader{data: data})
+	if err != nil {
+		return nil, nil, err
+	}
+	var pages []*column.Page
+	for {
+		p, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		pages = append(pages, p)
+	}
+	return r.Schema(), pages, nil
+}
+
+type sliceWriter []byte
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	*w = append(*w, p...)
+	return len(p), nil
+}
+
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}

@@ -1,0 +1,49 @@
+package arrowlite
+
+import (
+	"testing"
+
+	"prestocs/internal/column"
+	"prestocs/internal/types"
+)
+
+func benchBatch(rows int) (*types.Schema, *column.Page) {
+	schema := types.NewSchema(
+		types.Column{Name: "a", Type: types.Int64},
+		types.Column{Name: "b", Type: types.Float64},
+		types.Column{Name: "s", Type: types.String},
+	)
+	p := column.NewPage(schema)
+	for i := 0; i < rows; i++ {
+		p.AppendRow(
+			types.IntValue(int64(i)),
+			types.FloatValue(float64(i)/3),
+			types.StringValue("value"),
+		)
+	}
+	return schema, p
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	schema, page := benchBatch(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := Serialize(schema, []*column.Page{page})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(data)))
+	}
+}
+
+func BenchmarkDeserialize(b *testing.B) {
+	schema, page := benchBatch(10000)
+	data, _ := Serialize(schema, []*column.Page{page})
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Deserialize(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package column
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prestocs/internal/types"
+)
+
+func intVec(vals ...int64) *Vector {
+	v := NewVector(types.Int64)
+	for _, x := range vals {
+		v.Append(types.IntValue(x))
+	}
+	return v
+}
+
+func TestVectorAppendAndValue(t *testing.T) {
+	v := intVec(1, 2, 3)
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if got := v.Value(1); got.I != 2 {
+		t.Errorf("Value(1) = %v", got)
+	}
+	v.Append(types.NullValue(types.Int64))
+	if v.Len() != 4 || !v.IsNull(3) || v.IsNull(2) {
+		t.Error("null append wrong")
+	}
+	if !v.HasNulls() {
+		t.Error("HasNulls = false")
+	}
+	if !intVec(1).Value(0).Kind.Numeric() {
+		t.Error("kind lost")
+	}
+}
+
+func TestVectorAllKinds(t *testing.T) {
+	vals := []types.Value{
+		types.IntValue(7),
+		types.FloatValue(2.5),
+		types.StringValue("x"),
+		types.BoolValue(true),
+		types.DateValue(100),
+	}
+	for _, val := range vals {
+		v := NewVector(val.Kind)
+		v.Append(val)
+		v.Append(types.NullValue(val.Kind))
+		if !types.Equal(v.Value(0), val) {
+			t.Errorf("kind %v: got %v want %v", val.Kind, v.Value(0), val)
+		}
+		if !v.Value(1).Null {
+			t.Errorf("kind %v: null lost", val.Kind)
+		}
+	}
+}
+
+func TestVectorAppendKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("append of wrong kind must panic")
+		}
+	}()
+	NewVector(types.Int64).Append(types.StringValue("x"))
+}
+
+func TestVectorAppendVector(t *testing.T) {
+	a := intVec(1, 2)
+	b := intVec(3)
+	b.Append(types.NullValue(types.Int64))
+	a.AppendVector(b)
+	if a.Len() != 4 || a.Value(2).I != 3 || !a.IsNull(3) {
+		t.Errorf("AppendVector wrong: %v nulls=%v", a.Ints, a.Nulls)
+	}
+	// Appending a null-free vector onto a vector with nulls must extend
+	// the validity slice.
+	c := intVec(9)
+	a.AppendVector(c)
+	if a.IsNull(4) || len(a.Nulls) != 5 {
+		t.Error("validity slice not extended")
+	}
+}
+
+func TestVectorFilterGatherSlice(t *testing.T) {
+	v := intVec(10, 20, 30, 40)
+	f := v.Filter([]bool{true, false, true, false})
+	if f.Len() != 2 || f.Ints[0] != 10 || f.Ints[1] != 30 {
+		t.Errorf("Filter = %v", f.Ints)
+	}
+	g := v.Gather([]int{3, 3, 0})
+	if g.Len() != 3 || g.Ints[0] != 40 || g.Ints[2] != 10 {
+		t.Errorf("Gather = %v", g.Ints)
+	}
+	s := v.Slice(1, 3)
+	if s.Len() != 2 || s.Ints[0] != 20 {
+		t.Errorf("Slice = %v", s.Ints)
+	}
+}
+
+func TestVectorByteSize(t *testing.T) {
+	if got := intVec(1, 2, 3).ByteSize(); got != 24 {
+		t.Errorf("int ByteSize = %d", got)
+	}
+	sv := NewVector(types.String)
+	sv.Append(types.StringValue("abcd"))
+	if got := sv.ByteSize(); got != 8 {
+		t.Errorf("string ByteSize = %d", got)
+	}
+}
+
+func testSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "id", Type: types.Int64},
+		types.Column{Name: "x", Type: types.Float64},
+		types.Column{Name: "name", Type: types.String},
+	)
+}
+
+func testPage() *Page {
+	p := NewPage(testSchema())
+	p.AppendRow(types.IntValue(1), types.FloatValue(1.5), types.StringValue("a"))
+	p.AppendRow(types.IntValue(2), types.FloatValue(2.5), types.StringValue("b"))
+	p.AppendRow(types.IntValue(3), types.FloatValue(3.5), types.StringValue("c"))
+	return p
+}
+
+func TestPageBasics(t *testing.T) {
+	p := testPage()
+	if p.NumRows() != 3 || p.NumCols() != 3 {
+		t.Fatalf("dims = %dx%d", p.NumRows(), p.NumCols())
+	}
+	row := p.Row(1)
+	if row[0].I != 2 || row[1].F != 2.5 || row[2].S != "b" {
+		t.Errorf("Row(1) = %v", row)
+	}
+	if p.String() == "" {
+		t.Error("String empty")
+	}
+	empty := NewPage(types.NewSchema())
+	if empty.NumRows() != 0 {
+		t.Error("empty page rows != 0")
+	}
+}
+
+func TestPageAppendRowArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong arity must panic")
+		}
+	}()
+	testPage().AppendRow(types.IntValue(1))
+}
+
+func TestPageFilterGatherSliceProject(t *testing.T) {
+	p := testPage()
+	f := p.Filter([]bool{false, true, true})
+	if f.NumRows() != 2 || f.Row(0)[2].S != "b" {
+		t.Errorf("Filter wrong")
+	}
+	g := p.Gather([]int{2, 0})
+	if g.NumRows() != 2 || g.Row(0)[0].I != 3 {
+		t.Errorf("Gather wrong")
+	}
+	s := p.Slice(0, 1)
+	if s.NumRows() != 1 || s.Row(0)[0].I != 1 {
+		t.Errorf("Slice wrong")
+	}
+	pr := p.Project([]int{2, 0})
+	if pr.NumCols() != 2 || pr.Schema.Columns[0].Name != "name" || pr.Row(1)[1].I != 2 {
+		t.Errorf("Project wrong")
+	}
+}
+
+func TestPageAppendPage(t *testing.T) {
+	a, b := testPage(), testPage()
+	a.AppendPage(b)
+	if a.NumRows() != 6 || a.Row(5)[0].I != 3 {
+		t.Errorf("AppendPage wrong: %d rows", a.NumRows())
+	}
+}
+
+// Property: Filter keeps exactly the marked rows, in order.
+func TestQuickFilterPreservesOrder(t *testing.T) {
+	f := func(vals []int64, seed uint16) bool {
+		v := intVec(vals...)
+		keep := make([]bool, len(vals))
+		var want []int64
+		for i := range keep {
+			keep[i] = (uint(seed)>>(uint(i)%16))&1 == 1
+			if keep[i] {
+				want = append(want, vals[i])
+			}
+		}
+		got := v.Filter(keep)
+		if got.Len() != len(want) {
+			return false
+		}
+		for i, w := range want {
+			if got.Ints[i] != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Slice(0,n) is the identity.
+func TestQuickSliceIdentity(t *testing.T) {
+	f := func(vals []int64) bool {
+		v := intVec(vals...)
+		s := v.Slice(0, v.Len())
+		if s.Len() != v.Len() {
+			return false
+		}
+		for i := range vals {
+			if s.Ints[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

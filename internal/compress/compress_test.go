@@ -1,0 +1,205 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleInputs() map[string][]byte {
+	rnd := rand.New(rand.NewSource(7))
+	random := make([]byte, 10000)
+	rnd.Read(random)
+	lowEntropy := make([]byte, 20000)
+	for i := range lowEntropy {
+		lowEntropy[i] = byte(rnd.Intn(4))
+	}
+	return map[string][]byte{
+		"empty":      {},
+		"one":        {42},
+		"short":      []byte("abc"),
+		"repeated":   bytes.Repeat([]byte("abcdefgh"), 1000),
+		"zeros":      make([]byte, 65536),
+		"random":     random,
+		"lowentropy": lowEntropy,
+		"text":       []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 300)),
+	}
+}
+
+func TestRoundTripAllCodecs(t *testing.T) {
+	for name, data := range sampleInputs() {
+		for _, c := range Codecs() {
+			enc, err := Encode(c, data)
+			if err != nil {
+				t.Fatalf("%s/%s encode: %v", c, name, err)
+			}
+			dec, err := Decode(c, enc)
+			if err != nil {
+				t.Fatalf("%s/%s decode: %v", c, name, err)
+			}
+			if !bytes.Equal(dec, data) {
+				t.Errorf("%s/%s: round trip mismatch (%d vs %d bytes)", c, name, len(dec), len(data))
+			}
+		}
+	}
+}
+
+func TestCompressionRatioOrdering(t *testing.T) {
+	// The paper's Fig. 6 relies on ratio(Zstd) >= ratio(Gzip) > ratio(Snappy)
+	// on compressible scientific-like data.
+	data := sampleInputs()["lowentropy"]
+	sizes := map[Codec]int{}
+	for _, c := range Codecs() {
+		enc, err := Encode(c, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[c] = len(enc)
+	}
+	if !(sizes[Zstd] <= sizes[Gzip] && sizes[Gzip] < sizes[Snappy] && sizes[Snappy] < sizes[None]) {
+		t.Errorf("ratio ordering violated: none=%d snappy=%d gzip=%d zstd=%d",
+			sizes[None], sizes[Snappy], sizes[Gzip], sizes[Zstd])
+	}
+}
+
+func TestSnappyCompressesRepetitive(t *testing.T) {
+	data := bytes.Repeat([]byte("0123456789abcdef"), 4096)
+	enc, _ := Encode(Snappy, data)
+	if len(enc) > len(data)/8 {
+		t.Errorf("snappy barely compressed: %d -> %d", len(data), len(enc))
+	}
+}
+
+func TestSnappyCorruptInputs(t *testing.T) {
+	cases := [][]byte{
+		{},                    // missing length
+		{0xff, 0xff, 0xff},    // unterminated varint
+		{0x08, 0x00},          // literal length 3 but only 1 byte payload
+		{0x04, 0x01, 0x05, 9}, // copy with offset beyond output
+		{0x02, 0xF0},          // literal tag 60 with no length byte
+	}
+	for i, c := range cases {
+		if _, err := Decode(Snappy, c); err == nil {
+			t.Errorf("case %d: corrupt input decoded without error", i)
+		}
+	}
+	// Truncated valid stream.
+	enc, _ := Encode(Snappy, bytes.Repeat([]byte("xy"), 100))
+	if _, err := Decode(Snappy, enc[:len(enc)-3]); err == nil {
+		t.Error("truncated stream decoded without error")
+	}
+}
+
+func TestSnappyOverlappingCopy(t *testing.T) {
+	// "aaaa..." forces overlapping copies (offset < length).
+	data := bytes.Repeat([]byte{'a'}, 1000)
+	enc, _ := Encode(Snappy, data)
+	dec, err := Decode(Snappy, enc)
+	if err != nil || !bytes.Equal(dec, data) {
+		t.Fatalf("overlap round trip failed: %v", err)
+	}
+}
+
+func TestParseCodecAndString(t *testing.T) {
+	for _, c := range Codecs() {
+		got, err := ParseCodec(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseCodec(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseCodec("lz77-magic"); err == nil {
+		t.Error("unknown codec must fail")
+	}
+	if c, err := ParseCodec(""); err != nil || c != None {
+		t.Error("empty codec name must mean None")
+	}
+	if Codec(99).String() == "" {
+		t.Error("unknown codec String empty")
+	}
+}
+
+func TestCostModelsOrdering(t *testing.T) {
+	if !(DecompressCostPerByte(Snappy) < DecompressCostPerByte(Zstd) &&
+		DecompressCostPerByte(Zstd) < DecompressCostPerByte(Gzip)) {
+		t.Error("decompress cost ordering must be snappy < zstd < gzip")
+	}
+	if DecompressCostPerByte(None) != 0 || CompressCostPerByte(None) != 0 {
+		t.Error("None codec must be free")
+	}
+	if CompressCostPerByte(Gzip) <= CompressCostPerByte(Snappy) {
+		t.Error("gzip compression must cost more than snappy")
+	}
+	if DecompressCostPerByte(Codec(99)) <= 0 || CompressCostPerByte(Codec(99)) <= 0 {
+		t.Error("unknown codec cost default wrong")
+	}
+}
+
+func TestDecodeUnknownCodec(t *testing.T) {
+	if _, err := Encode(Codec(42), nil); err == nil {
+		t.Error("encode with unknown codec must fail")
+	}
+	if _, err := Decode(Codec(42), nil); err == nil {
+		t.Error("decode with unknown codec must fail")
+	}
+}
+
+// Property: snappy round-trips arbitrary byte strings.
+func TestQuickSnappyRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		enc, err := Encode(Snappy, data)
+		if err != nil {
+			return false
+		}
+		dec, err := Decode(Snappy, enc)
+		return err == nil && bytes.Equal(dec, data)
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all codecs round-trip highly structured input (runs).
+func TestQuickAllCodecsRuns(t *testing.T) {
+	f := func(b byte, n uint16) bool {
+		data := bytes.Repeat([]byte{b}, int(n)%5000)
+		for _, c := range Codecs() {
+			enc, err := Encode(c, data)
+			if err != nil {
+				return false
+			}
+			dec, err := Decode(c, enc)
+			if err != nil || !bytes.Equal(dec, data) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSnappyEncode(b *testing.B) {
+	data := sampleInputs()["lowentropy"]
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(Snappy, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnappyDecode(b *testing.B) {
+	data := sampleInputs()["lowentropy"]
+	enc, _ := Encode(Snappy, data)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(Snappy, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

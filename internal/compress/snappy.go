@@ -1,0 +1,248 @@
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// This file implements the Snappy block format from scratch:
+// https://github.com/google/snappy/blob/main/format_description.txt
+//
+// A compressed block is a varint-encoded uncompressed length followed by a
+// sequence of elements. Each element starts with a tag byte whose low two
+// bits select the element type:
+//
+//	00 literal    — upper 6 bits hold length-1, or 60..63 to indicate the
+//	                length is stored in the following 1..4 little-endian bytes
+//	01 copy1      — 3-bit length-4 (4..11), 11-bit offset (high 3 bits in
+//	                tag, low 8 in next byte)
+//	10 copy2      — 6-bit length-1, 16-bit little-endian offset
+//	11 copy4      — 6-bit length-1, 32-bit little-endian offset
+const (
+	tagLiteral = 0x00
+	tagCopy1   = 0x01
+	tagCopy2   = 0x02
+	tagCopy4   = 0x03
+)
+
+var (
+	// ErrCorrupt reports a malformed Snappy block.
+	ErrCorrupt = errors.New("compress: corrupt snappy data")
+)
+
+const (
+	snappyMaxOffset = 1 << 15 // encoder window; format allows up to 2^32-1
+	snappyMinMatch  = 4
+	hashTableBits   = 14
+	hashTableSize   = 1 << hashTableBits
+)
+
+// snappyEncode compresses src into a fresh buffer using a greedy LZ77
+// matcher with a 16k-entry hash table, mirroring the reference encoder's
+// fast path.
+func snappyEncode(src []byte) []byte {
+	dst := make([]byte, 0, len(src)/2+16)
+	dst = appendUvarint(dst, uint64(len(src)))
+	if len(src) == 0 {
+		return dst
+	}
+	if len(src) < snappyMinMatch {
+		return appendLiteral(dst, src)
+	}
+
+	var table [hashTableSize]int32 // candidate positions + 1 (0 = empty)
+	litStart := 0
+	i := 0
+	limit := len(src) - snappyMinMatch
+	for i <= limit {
+		h := snappyHash(binary.LittleEndian.Uint32(src[i:]))
+		cand := int(table[h]) - 1
+		table[h] = int32(i) + 1
+		if cand >= 0 && i-cand <= snappyMaxOffset &&
+			binary.LittleEndian.Uint32(src[cand:]) == binary.LittleEndian.Uint32(src[i:]) {
+			// Extend the match.
+			matchLen := snappyMinMatch
+			for i+matchLen < len(src) && src[cand+matchLen] == src[i+matchLen] {
+				matchLen++
+			}
+			if litStart < i {
+				dst = appendLiteral(dst, src[litStart:i])
+			}
+			dst = appendCopy(dst, i-cand, matchLen)
+			i += matchLen
+			litStart = i
+			continue
+		}
+		i++
+	}
+	if litStart < len(src) {
+		dst = appendLiteral(dst, src[litStart:])
+	}
+	return dst
+}
+
+func snappyHash(u uint32) uint32 {
+	return (u * 0x1e35a7bd) >> (32 - hashTableBits)
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+func appendLiteral(dst, lit []byte) []byte {
+	n := len(lit) - 1
+	switch {
+	case n < 60:
+		dst = append(dst, byte(n)<<2|tagLiteral)
+	case n < 1<<8:
+		dst = append(dst, 60<<2|tagLiteral, byte(n))
+	case n < 1<<16:
+		dst = append(dst, 61<<2|tagLiteral, byte(n), byte(n>>8))
+	case n < 1<<24:
+		dst = append(dst, 62<<2|tagLiteral, byte(n), byte(n>>8), byte(n>>16))
+	default:
+		dst = append(dst, 63<<2|tagLiteral, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	}
+	return append(dst, lit...)
+}
+
+// appendCopy emits one or more copy elements for a match of the given
+// offset and length.
+func appendCopy(dst []byte, offset, length int) []byte {
+	for length > 0 {
+		n := length
+		switch {
+		case n >= 4 && n <= 11 && offset < 1<<11:
+			dst = append(dst,
+				byte(offset>>8)<<5|byte(n-4)<<2|tagCopy1,
+				byte(offset))
+			return dst
+		case offset < 1<<16:
+			if n > 64 {
+				n = 64
+				// Avoid leaving a tail shorter than the 4-byte minimum a
+				// copy1 could need; 60 keeps the remainder >= 4.
+				if length-n < 4 {
+					n = 60
+				}
+			}
+			dst = append(dst,
+				byte(n-1)<<2|tagCopy2,
+				byte(offset), byte(offset>>8))
+		default:
+			if n > 64 {
+				n = 64
+				if length-n < 4 {
+					n = 60
+				}
+			}
+			dst = append(dst,
+				byte(n-1)<<2|tagCopy4,
+				byte(offset), byte(offset>>8), byte(offset>>16), byte(offset>>24))
+		}
+		length -= n
+	}
+	return dst
+}
+
+// snappyDecode expands a Snappy block.
+func snappyDecode(src []byte) ([]byte, error) {
+	uLen, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	if uLen > 1<<32 {
+		return nil, errors.New("compress: snappy block too large")
+	}
+	src = src[n:]
+	dst := make([]byte, 0, uLen)
+	for len(src) > 0 {
+		tag := src[0]
+		switch tag & 0x03 {
+		case tagLiteral:
+			length := int(tag >> 2)
+			var extra int
+			switch length {
+			case 60:
+				extra = 1
+			case 61:
+				extra = 2
+			case 62:
+				extra = 3
+			case 63:
+				extra = 4
+			}
+			if extra > 0 {
+				if len(src) < 1+extra {
+					return nil, ErrCorrupt
+				}
+				length = 0
+				for b := extra - 1; b >= 0; b-- {
+					length = length<<8 | int(src[1+b])
+				}
+			}
+			length++
+			src = src[1+extra:]
+			if len(src) < length {
+				return nil, ErrCorrupt
+			}
+			dst = append(dst, src[:length]...)
+			src = src[length:]
+		case tagCopy1:
+			if len(src) < 2 {
+				return nil, ErrCorrupt
+			}
+			length := int(tag>>2&0x07) + 4
+			offset := int(tag>>5)<<8 | int(src[1])
+			src = src[2:]
+			var err error
+			dst, err = expandCopy(dst, offset, length)
+			if err != nil {
+				return nil, err
+			}
+		case tagCopy2:
+			if len(src) < 3 {
+				return nil, ErrCorrupt
+			}
+			length := int(tag>>2) + 1
+			offset := int(binary.LittleEndian.Uint16(src[1:3]))
+			src = src[3:]
+			var err error
+			dst, err = expandCopy(dst, offset, length)
+			if err != nil {
+				return nil, err
+			}
+		case tagCopy4:
+			if len(src) < 5 {
+				return nil, ErrCorrupt
+			}
+			length := int(tag>>2) + 1
+			offset := int(binary.LittleEndian.Uint32(src[1:5]))
+			src = src[5:]
+			var err error
+			dst, err = expandCopy(dst, offset, length)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if uint64(len(dst)) != uLen {
+		return nil, ErrCorrupt
+	}
+	return dst, nil
+}
+
+// expandCopy appends length bytes starting offset bytes back in dst;
+// overlapping copies (offset < length) replicate, per the format.
+func expandCopy(dst []byte, offset, length int) ([]byte, error) {
+	if offset <= 0 || offset > len(dst) {
+		return nil, ErrCorrupt
+	}
+	pos := len(dst) - offset
+	for i := 0; i < length; i++ {
+		dst = append(dst, dst[pos+i])
+	}
+	return dst, nil
+}

@@ -1,0 +1,260 @@
+// Package ocs implements the Presto-OCS connector — the paper's
+// contribution. It plugs into the engine's Connector SPI and:
+//
+//   - extends the local-optimizer phase with a pushdown planner that walks
+//     the plan bottom-up, uses the Selectivity Analyzer (metastore min/max,
+//     NDV and row counts, §4) to score operators, and absorbs eligible
+//     Filter / expression-Project / Aggregation / Top-N nodes into a
+//     modified TableScan handle (the Operator Extractor);
+//   - translates the extracted operators into Substrait IR in its
+//     PageSourceProvider and ships them to OCS over the RPC layer;
+//   - deserializes Arrow results back into engine pages and leaves
+//     residual operators (final aggregation, re-merged Top-N) to the
+//     engine;
+//   - reports per-query pushdown metrics through an EventListener with a
+//     sliding-window history.
+package ocs
+
+import (
+	"fmt"
+	"strings"
+
+	"prestocs/internal/expr"
+	"prestocs/internal/metastore"
+	"prestocs/internal/plan"
+	"prestocs/internal/substrait"
+	"prestocs/internal/types"
+)
+
+// Session property keys.
+const (
+	// SessionPushdown selects the pushdown mode: "none", "filter",
+	// "filter_project", "filter_agg", "filter_project_agg", "all" or
+	// "auto" (Selectivity Analyzer decides). Default "all".
+	SessionPushdown = "ocs.pushdown"
+	// SessionSelectivityThreshold is the minimum estimated data-reduction
+	// ratio (0..1) an operator must achieve for "auto" pushdown. Default
+	// 0.5.
+	SessionSelectivityThreshold = "ocs.selectivity_threshold"
+	// SessionComplexityCap is the maximum expression cost (expr.Cost
+	// units) "auto" will push for projections. Default 25.
+	SessionComplexityCap = "ocs.complexity_cap"
+)
+
+// Mode is a parsed pushdown configuration.
+type Mode struct {
+	Filter  bool
+	Project bool // expression (pre-aggregation) projection
+	Agg     bool
+	TopN    bool
+	Auto    bool
+}
+
+// ParseMode interprets the SessionPushdown property.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "all":
+		return Mode{Filter: true, Project: true, Agg: true, TopN: true}, nil
+	case "none":
+		return Mode{}, nil
+	case "filter":
+		return Mode{Filter: true}, nil
+	case "filter_project":
+		return Mode{Filter: true, Project: true}, nil
+	case "filter_agg":
+		return Mode{Filter: true, Agg: true}, nil
+	case "filter_project_agg":
+		return Mode{Filter: true, Project: true, Agg: true}, nil
+	case "auto":
+		return Mode{Auto: true}, nil
+	default:
+		return Mode{}, fmt.Errorf("ocs: unknown pushdown mode %q", s)
+	}
+}
+
+// ProjectSpec is an extracted projection.
+type ProjectSpec struct {
+	Expressions []expr.Expr
+	Names       []string
+}
+
+// AggSpec is an extracted aggregation.
+type AggSpec struct {
+	Keys     []int
+	Measures []substrait.Measure
+	// Complete records that group keys are split-disjoint, so per-split
+	// aggregation produces final (not partial) values — the precondition
+	// for pushing post-aggregation operators (DESIGN.md §4).
+	Complete bool
+}
+
+// TopNSpec is an extracted top-N.
+type TopNSpec struct {
+	Keys  []plan.SortKey
+	Count int64
+}
+
+// Pushdown is the Operator Extractor's output: the operators absorbed
+// into the modified TableScan, in execution order.
+type Pushdown struct {
+	Filter expr.Expr // over the projected scan schema
+	// OutputCols narrows the rows returned after a pushed filter to the
+	// columns the residual plan still needs (ordinals over the projected
+	// scan schema): columns referenced only by the pushed filter are
+	// consumed in-storage and never cross the network. Ignored when
+	// Project or Agg is set (they define the output themselves).
+	OutputCols []int
+	// Project is the pre-aggregation expression projection.
+	Project *ProjectSpec
+	Agg     *AggSpec
+	// FinalProject is the post-aggregation projection (avg division);
+	// only pushable when Agg.Complete.
+	FinalProject *ProjectSpec
+	TopN         *TopNSpec
+	// Limit is a bare LIMIT (no ordering) pushed per split: each storage
+	// node returns at most Limit rows and the engine's residual Limit
+	// truncates the union — always sound. -1 when absent.
+	Limit int64
+}
+
+// Operators lists the pushed operator kinds in order.
+func (p *Pushdown) Operators() []string {
+	var ops []string
+	if p.Filter != nil {
+		ops = append(ops, "filter")
+	}
+	if p.Project != nil {
+		ops = append(ops, "project")
+	}
+	if p.Agg != nil {
+		ops = append(ops, "aggregation")
+	}
+	if p.FinalProject != nil {
+		ops = append(ops, "final-project")
+	}
+	if p.TopN != nil {
+		ops = append(ops, "topn")
+	}
+	if p.Limit > 0 {
+		ops = append(ops, "limit")
+	}
+	return ops
+}
+
+// Empty reports whether nothing is pushed.
+func (p *Pushdown) Empty() bool { return len(p.Operators()) == 0 }
+
+// Handle is the OCS connector's table handle: table metadata, column
+// projection and the pushdown spec.
+type Handle struct {
+	Table      *metastore.Table
+	Projection []int // base-schema ordinals; nil = all
+	Push       *Pushdown
+}
+
+// ConnectorName implements plan.TableHandle.
+func (h *Handle) ConnectorName() string { return h.Table.Schema }
+
+// baseScanSchema is the projected object schema before pushed operators.
+func (h *Handle) baseScanSchema() *types.Schema {
+	if h.Projection == nil {
+		return h.Table.Columns
+	}
+	return h.Table.Columns.Project(h.Projection)
+}
+
+// ScanSchema implements plan.TableHandle: the schema of pages the scan
+// produces after in-storage execution of the pushed operators.
+func (h *Handle) ScanSchema() *types.Schema {
+	schema := h.baseScanSchema()
+	if h.Push == nil {
+		return schema
+	}
+	if h.Push.OutputCols != nil && h.Push.Project == nil && h.Push.Agg == nil {
+		schema = schema.Project(h.Push.OutputCols)
+	}
+	if h.Push.Project != nil {
+		schema = projectSchema(h.Push.Project)
+	}
+	if h.Push.Agg != nil {
+		schema = aggSchema(schema, h.Push.Agg)
+	}
+	if h.Push.FinalProject != nil {
+		schema = projectSchema(h.Push.FinalProject)
+	}
+	return schema
+}
+
+func projectSchema(p *ProjectSpec) *types.Schema {
+	cols := make([]types.Column, len(p.Expressions))
+	for i, e := range p.Expressions {
+		cols[i] = types.Column{Name: p.Names[i], Type: e.Type()}
+	}
+	return types.NewSchema(cols...)
+}
+
+func aggSchema(in *types.Schema, a *AggSpec) *types.Schema {
+	var cols []types.Column
+	for _, k := range a.Keys {
+		cols = append(cols, in.Columns[k])
+	}
+	for _, m := range a.Measures {
+		inKind := types.Int64
+		if m.Func != substrait.AggCountStar {
+			inKind = in.Columns[m.Arg].Type
+		}
+		outKind, err := m.Func.ResultKind(inKind)
+		if err != nil {
+			outKind = types.Unknown
+		}
+		cols = append(cols, types.Column{Name: m.Name, Type: outKind})
+	}
+	return types.NewSchema(cols...)
+}
+
+// WithProjection implements plan.ProjectableHandle.
+func (h *Handle) WithProjection(cols []int) plan.TableHandle {
+	return &Handle{Table: h.Table, Projection: cols, Push: h.Push}
+}
+
+// PushedOperators implements engine.PushdownReporter.
+func (h *Handle) PushedOperators() []string {
+	if h.Push == nil {
+		return nil
+	}
+	return h.Push.Operators()
+}
+
+// String implements fmt.Stringer.
+func (h *Handle) String() string {
+	parts := []string{h.Table.QualifiedName()}
+	if h.Projection != nil {
+		parts = append(parts, fmt.Sprintf("cols=%d", len(h.Projection)))
+	}
+	if h.Push != nil && !h.Push.Empty() {
+		parts = append(parts, "pushdown="+strings.Join(h.Push.Operators(), "+"))
+	}
+	return "ocs:" + strings.Join(parts, ", ")
+}
+
+// keysSplitDisjoint reports whether every aggregation key column is
+// declared split-disjoint in the table metadata (its values never span
+// objects), which makes per-split aggregation complete.
+func keysSplitDisjoint(table *metastore.Table, schema *types.Schema, keys []int) bool {
+	if len(keys) == 0 {
+		return false // global aggregates always need a final merge
+	}
+	declared := map[string]bool{}
+	for _, name := range table.DisjointKeys {
+		declared[strings.ToLower(name)] = true
+	}
+	for _, k := range keys {
+		if k < 0 || k >= schema.Len() {
+			return false
+		}
+		if !declared[strings.ToLower(schema.Columns[k].Name)] {
+			return false
+		}
+	}
+	return true
+}

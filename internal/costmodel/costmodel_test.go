@@ -1,0 +1,129 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCapacities(t *testing.T) {
+	if DefaultComputeNode.Capacity() != 64*2.9 {
+		t.Errorf("compute capacity = %v", DefaultComputeNode.Capacity())
+	}
+	if DefaultStorageNode.Capacity() != 32 {
+		t.Errorf("storage capacity = %v", DefaultStorageNode.Capacity())
+	}
+	// The paper's constraint: storage is markedly weaker than compute.
+	ratio := DefaultComputeNode.Capacity() / DefaultStorageNode.Capacity()
+	if ratio < 5 || ratio > 7 {
+		t.Errorf("compute/storage ratio = %v, want ~5.8", ratio)
+	}
+}
+
+func TestModelStages(t *testing.T) {
+	p := Default()
+	m := Measured{
+		StorageBytesRead: 500_000_000,   // 1 s at 0.5 GB/s
+		BytesMoved:       1_250_000_000, // 1 s at 10 GbE
+	}
+	b := p.Model(m)
+	if b.StorageIO < 990*time.Millisecond || b.StorageIO > 1010*time.Millisecond {
+		t.Errorf("StorageIO = %v", b.StorageIO)
+	}
+	if b.Network < 990*time.Millisecond || b.Network > 1010*time.Millisecond {
+		t.Errorf("Network = %v", b.Network)
+	}
+	if b.Total != b.StorageIO+b.StorageCPU+b.Network+b.ComputeCPU+b.RPC {
+		t.Error("total is not the stage sum")
+	}
+}
+
+func TestCPUAsymmetry(t *testing.T) {
+	// The same units cost ~5.8x more on the storage node.
+	p := Default()
+	onStorage := p.Model(Measured{StorageCPUUnits: 1e6})
+	onCompute := p.Model(Measured{ComputeCPUUnits: 1e6})
+	ratio := float64(onStorage.Total) / float64(onCompute.Total)
+	if ratio < 5 || ratio > 7 {
+		t.Errorf("storage/compute cpu ratio = %v", ratio)
+	}
+}
+
+func TestZeroMeasured(t *testing.T) {
+	b := Default().Model(Measured{})
+	if b.Total != 0 {
+		t.Errorf("zero input total = %v", b.Total)
+	}
+}
+
+func TestRPCOverhead(t *testing.T) {
+	p := Default()
+	b := p.Model(Measured{RoundTrips: 1000})
+	want := time.Duration(1000 * p.RPCOverheadSec * float64(time.Second))
+	if b.RPC != want {
+		t.Errorf("rpc = %v, want %v", b.RPC, want)
+	}
+}
+
+func TestStringForm(t *testing.T) {
+	b := Default().Model(Measured{BytesMoved: 1000})
+	if b.String() == "" {
+		t.Error("empty breakdown string")
+	}
+}
+
+// The load-bearing shape property: moving expression evaluation from
+// compute to storage with no byte reduction must increase modeled time
+// (paper Q2, projection-pushdown slowdown).
+func TestProjectionPushdownSlowdownShape(t *testing.T) {
+	p := Default()
+	const exprUnits = 5e6
+	base := Measured{
+		StorageBytesRead: 1e9,
+		BytesMoved:       2e8,
+		StorageCPUUnits:  1e6,
+		ComputeCPUUnits:  exprUnits,
+	}
+	pushed := base
+	pushed.StorageCPUUnits += exprUnits
+	pushed.ComputeCPUUnits -= exprUnits
+	if p.Model(pushed).Total <= p.Model(base).Total {
+		t.Errorf("pushing expressions to weak storage should cost more: %v vs %v",
+			p.Model(pushed).Total, p.Model(base).Total)
+	}
+}
+
+// And the converse: trading storage CPU for a large byte reduction must
+// decrease modeled time (aggregation pushdown wins).
+func TestAggregationPushdownSpeedupShape(t *testing.T) {
+	// 1M filtered rows of 5 columns: without pushdown they cross the
+	// network and the engine pays ingestion (1.5 units/cell) plus
+	// aggregation (7 units/row); with pushdown the storage node pays the
+	// aggregation (same units, weaker node) but almost nothing crosses.
+	p := Default()
+	const rows = 1e6
+	noPush := Measured{
+		StorageBytesRead: 1e9,
+		BytesMoved:       4e7,
+		IngestUnits:      rows * 5 * 1.5,
+		ComputeCPUUnits:  rows * 7,
+	}
+	pushed := Measured{
+		StorageBytesRead: 1e9,
+		BytesMoved:       1e5,
+		StorageCPUUnits:  rows * 7,
+	}
+	if p.Model(pushed).Total >= p.Model(noPush).Total {
+		t.Errorf("aggregation pushdown should win: %v vs %v",
+			p.Model(pushed).Total, p.Model(noPush).Total)
+	}
+}
+
+func TestIngestOverheadApplied(t *testing.T) {
+	p := Default()
+	asIngest := p.Model(Measured{IngestUnits: 1e6})
+	asCPU := p.Model(Measured{ComputeCPUUnits: 1e6})
+	ratio := float64(asIngest.Total) / float64(asCPU.Total)
+	if ratio < p.IngestOverhead*0.99 || ratio > p.IngestOverhead*1.01 {
+		t.Errorf("ingest overhead ratio = %v, want %v", ratio, p.IngestOverhead)
+	}
+}

@@ -1,0 +1,378 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"prestocs/internal/analyzer"
+	"prestocs/internal/column"
+	"prestocs/internal/exec"
+	"prestocs/internal/optimizer"
+	"prestocs/internal/plan"
+	"prestocs/internal/sqlparser"
+	"prestocs/internal/types"
+)
+
+// Engine is the coordinator: it owns the connector registry, plans
+// queries and drives distributed execution.
+type Engine struct {
+	mu         sync.RWMutex
+	connectors map[string]Connector
+	listeners  []EventListener
+
+	// DefaultCatalog resolves unqualified table names.
+	DefaultCatalog string
+	// Workers is the leaf-stage parallelism (like Presto task
+	// concurrency). Defaults to GOMAXPROCS.
+	Workers int
+}
+
+// New returns an engine with no connectors.
+func New() *Engine {
+	return &Engine{connectors: make(map[string]Connector), Workers: runtime.GOMAXPROCS(0)}
+}
+
+// AddConnector registers a connector under its catalog name.
+func (e *Engine) AddConnector(c Connector) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.connectors[c.Name()] = c
+}
+
+// AddEventListener registers a query-completion listener.
+func (e *Engine) AddEventListener(l EventListener) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.listeners = append(e.listeners, l)
+}
+
+func (e *Engine) connector(name string) (Connector, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	c, ok := e.connectors[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no connector for catalog %q", name)
+	}
+	return c, nil
+}
+
+// ResolveTable implements analyzer.Resolver.
+func (e *Engine) ResolveTable(catalog, table string) (plan.TableHandle, error) {
+	c, err := e.connector(catalog)
+	if err != nil {
+		return nil, err
+	}
+	return c.TableHandle(catalog, table)
+}
+
+// Result is a completed query.
+type Result struct {
+	Schema *types.Schema
+	Page   *column.Page
+	Stats  *QueryStats
+}
+
+// Execute runs one SQL query under the session (nil for defaults).
+func (e *Engine) Execute(sql string, session *Session) (*Result, error) {
+	if session == nil {
+		session = NewSession()
+	}
+	stats := &QueryStats{}
+	startTotal := time.Now()
+
+	// 1-2. Parse + analyze.
+	start := time.Now()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	logical, err := analyzer.Analyze(stmt, e, e.DefaultCatalog)
+	if err != nil {
+		return nil, err
+	}
+	stats.ParseAnalyze = time.Since(start)
+
+	// 3. Global optimization.
+	start = time.Now()
+	optimized, err := optimizer.Optimize(logical)
+	if err != nil {
+		return nil, err
+	}
+	stats.GlobalOpt = time.Since(start)
+
+	// 4. Connector-specific (local) optimization.
+	scan := plan.FindScan(optimized)
+	if scan == nil {
+		return nil, fmt.Errorf("engine: plan has no table scan")
+	}
+	conn, err := e.connector(scan.Handle.ConnectorName())
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	if opt := conn.PlanOptimizer(); opt != nil {
+		optimized, err = opt.Optimize(optimized, session)
+		if err != nil {
+			return nil, err
+		}
+	}
+	stats.ConnectorOpt = time.Since(start)
+	stats.PlanText = plan.Format(optimized)
+
+	// 5-6. Split generation, scheduling, execution.
+	scan = plan.FindScan(optimized)
+	if scan == nil {
+		return nil, fmt.Errorf("engine: optimized plan lost its scan")
+	}
+	if ph, ok := scan.Handle.(PushdownReporter); ok {
+		stats.PushedDown = ph.PushedOperators()
+		stats.UsedPushdown = len(stats.PushedDown) > 0
+	}
+	start = time.Now()
+	page, schema, err := e.run(optimized, scan, conn, stats)
+	stats.Execution = time.Since(start)
+	stats.Total = time.Since(startTotal)
+
+	event := QueryEvent{SQL: sql, Catalog: scan.Catalog, Table: scan.Table, Stats: stats, Err: err}
+	e.mu.RLock()
+	listeners := append([]EventListener(nil), e.listeners...)
+	e.mu.RUnlock()
+	for _, l := range listeners {
+		l.QueryCompleted(event)
+	}
+	if err != nil {
+		return nil, err
+	}
+	stats.ResultRows = page.NumRows()
+	return &Result{Schema: schema, Page: page, Stats: stats}, nil
+}
+
+// PushdownReporter lets handles report which operators they absorbed.
+type PushdownReporter interface {
+	PushedOperators() []string
+}
+
+// run executes the physical plan: leaf stage per split on the worker
+// pool, final stage on the coordinator, pipelined through a channel.
+func (e *Engine) run(root plan.Node, scan *plan.TableScan, conn Connector, stats *QueryStats) (*column.Page, *types.Schema, error) {
+	leafChain, finalChain, err := splitAtExchange(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	splits, err := conn.Splits(scan.Handle)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Splits = len(splits)
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(splits) {
+		workers = len(splits)
+	}
+	if workers == 0 {
+		workers = 1
+	}
+
+	splitCh := make(chan Split, len(splits))
+	for _, s := range splits {
+		splitCh <- s
+	}
+	close(splitCh)
+
+	pageCh := make(chan *column.Page, workers*2)
+	var workerErr error
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+	var meterMu sync.Mutex
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var meter exec.Meter
+			defer func() {
+				meterMu.Lock()
+				stats.LeafMeter.Add(meter)
+				meterMu.Unlock()
+			}()
+			for split := range splitCh {
+				source, err := conn.CreatePageSource(scan.Handle, split, &stats.Scan)
+				if err != nil {
+					errOnce.Do(func() { workerErr = err })
+					return
+				}
+				pipeline, err := compileChain(leafChain, source, &meter)
+				if err != nil {
+					errOnce.Do(func() { workerErr = err })
+					return
+				}
+				for {
+					page, err := pipeline.Next()
+					if err != nil {
+						errOnce.Do(func() { workerErr = err })
+						return
+					}
+					if page == nil {
+						break
+					}
+					pageCh <- page
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(pageCh)
+	}()
+
+	// Final stage: consume the exchange output.
+	exchangeSchema := leafOutputSchema(leafChain, scan)
+	source := exec.NewFuncSource(exchangeSchema, func() (*column.Page, error) {
+		page, ok := <-pageCh
+		if !ok {
+			return nil, nil
+		}
+		return page, nil
+	})
+	finalOp, err := compileChain(finalChain, source, &stats.FinalMeter)
+	if err != nil {
+		// Drain workers before returning so goroutines do not leak.
+		for range pageCh {
+		}
+		return nil, nil, err
+	}
+	result, err := exec.DrainToPage(finalOp)
+	for range pageCh { // drain any remainder (e.g. final Limit stopped early)
+	}
+	if workerErr != nil {
+		return nil, nil, workerErr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return result, result.Schema, nil
+}
+
+// splitAtExchange returns the node chains below and above the Exchange,
+// each ordered bottom-up (scan side first) and excluding the scan and the
+// exchange themselves.
+func splitAtExchange(root plan.Node) (leaf, final []plan.Node, err error) {
+	var chain []plan.Node
+	n := root
+	for {
+		chain = append(chain, n)
+		kids := n.Children()
+		if len(kids) == 0 {
+			break
+		}
+		if len(kids) > 1 {
+			return nil, nil, fmt.Errorf("engine: non-linear plan")
+		}
+		n = kids[0]
+	}
+	// chain is root-first; find exchange and scan.
+	exchangeIdx := -1
+	for i, node := range chain {
+		if _, ok := node.(*plan.Exchange); ok {
+			exchangeIdx = i
+			break
+		}
+	}
+	if exchangeIdx < 0 {
+		return nil, nil, fmt.Errorf("engine: plan has no exchange")
+	}
+	if _, ok := chain[len(chain)-1].(*plan.TableScan); !ok {
+		return nil, nil, fmt.Errorf("engine: plan leaf is not a scan")
+	}
+	// Leaf: nodes strictly between scan and exchange, bottom-up.
+	for i := len(chain) - 2; i > exchangeIdx; i-- {
+		leaf = append(leaf, chain[i])
+	}
+	// Final: nodes strictly above exchange, bottom-up.
+	for i := exchangeIdx - 1; i >= 0; i-- {
+		final = append(final, chain[i])
+	}
+	return leaf, final, nil
+}
+
+// leafOutputSchema computes the schema pages have when they reach the
+// exchange.
+func leafOutputSchema(leafChain []plan.Node, scan *plan.TableScan) *types.Schema {
+	if len(leafChain) == 0 {
+		return scan.Handle.ScanSchema()
+	}
+	return leafChain[len(leafChain)-1].OutputSchema()
+}
+
+// compileChain lowers a bottom-up node chain onto a source operator.
+func compileChain(chain []plan.Node, source exec.Operator, meter *exec.Meter) (exec.Operator, error) {
+	op := source
+	var err error
+	for _, node := range chain {
+		switch t := node.(type) {
+		case *plan.Filter:
+			op, err = exec.NewFilter(op, t.Condition, meter)
+		case *plan.Project:
+			op, err = exec.NewProject(op, t.Expressions, t.Names, meter)
+		case *plan.Aggregate:
+			mode := exec.AggSingle
+			switch t.Step {
+			case plan.AggPartial:
+				mode = exec.AggPartial
+			case plan.AggFinal:
+				mode = exec.AggFinal
+			}
+			op, err = exec.NewHashAggregate(op, t.Keys, t.Measures, mode, meter)
+		case *plan.Sort:
+			op, err = exec.NewSort(op, plan.SortSpecs(t.Keys), meter)
+		case *plan.TopN:
+			op, err = exec.NewTopN(op, plan.SortSpecs(t.Keys), t.Count, meter)
+		case *plan.Limit:
+			op = exec.NewLimit(op, t.Count)
+		case *plan.Output:
+			op, err = newRename(op, t.Names)
+		default:
+			return nil, fmt.Errorf("engine: cannot compile %T", node)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return op, nil
+}
+
+// rename relabels columns without copying data (Output node).
+type rename struct {
+	input  exec.Operator
+	schema *types.Schema
+}
+
+func newRename(input exec.Operator, names []string) (exec.Operator, error) {
+	in := input.Schema()
+	cols := make([]types.Column, in.Len())
+	for i, c := range in.Columns {
+		name := c.Name
+		if i < len(names) && names[i] != "" {
+			name = names[i]
+		}
+		cols[i] = types.Column{Name: name, Type: c.Type}
+	}
+	return &rename{input: input, schema: types.NewSchema(cols...)}, nil
+}
+
+func (r *rename) Schema() *types.Schema { return r.schema }
+
+func (r *rename) Next() (*column.Page, error) {
+	page, err := r.input.Next()
+	if err != nil || page == nil {
+		return nil, err
+	}
+	return &column.Page{Schema: r.schema, Vectors: page.Vectors}, nil
+}
+
+var _ = describePushdown // referenced by logging-oriented callers

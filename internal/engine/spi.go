@@ -1,0 +1,187 @@
+// Package engine implements the Presto-like distributed SQL engine: a
+// coordinator that parses, analyzes and optimizes queries (including the
+// connector-specific local-optimization phase, Figure 3 step 4), splits
+// the scan into per-object units, runs the leaf stage on a worker pool
+// and the final stage on the coordinator, and exposes the Connector SPI
+// that the Hive-like and OCS connectors plug into.
+package engine
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"prestocs/internal/exec"
+	"prestocs/internal/objstore"
+	"prestocs/internal/plan"
+)
+
+// Split is one schedulable unit of a table scan (one object).
+type Split struct {
+	// Object is the object key within the table's bucket.
+	Object string
+	// Index is the split's ordinal within the table.
+	Index int
+}
+
+// ScanStats accumulates connector-side metrics for one query. Connectors
+// update it from CreatePageSource; it is safe for concurrent use.
+type ScanStats struct {
+	mu sync.Mutex
+	// BytesMoved is payload bytes that crossed the compute/storage
+	// network boundary (the paper's "data movement").
+	BytesMoved int64
+	// StorageWork is work performed inside the storage layer.
+	StorageWork objstore.WorkStats
+	// SubstraitGen is time spent translating pushdown operators to
+	// Substrait IR (Table 3 row 2).
+	SubstraitGen time.Duration
+	// Transfer is time spent in storage RPCs, including in-storage
+	// execution (Table 3 row 3).
+	Transfer time.Duration
+	// DeserializeUnits is compute-side CPU work spent decoding results
+	// (Arrow decode or CSV parse), in abstract units.
+	DeserializeUnits float64
+	// ResultRows is rows received from storage.
+	ResultRows int64
+}
+
+// AddBytesMoved records network payload bytes.
+func (s *ScanStats) AddBytesMoved(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.BytesMoved += n
+}
+
+// AddStorageWork merges storage-side work.
+func (s *ScanStats) AddStorageWork(w objstore.WorkStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.StorageWork.Add(w)
+}
+
+// AddSubstraitGen records IR-generation time.
+func (s *ScanStats) AddSubstraitGen(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.SubstraitGen += d
+}
+
+// AddTransfer records RPC round-trip time.
+func (s *ScanStats) AddTransfer(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Transfer += d
+}
+
+// AddDeserialize records result-decode work.
+func (s *ScanStats) AddDeserialize(units float64, rows int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.DeserializeUnits += units
+	s.ResultRows += rows
+}
+
+// Snapshot returns a copy for reporting.
+func (s *ScanStats) Snapshot() ScanStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ScanStats{
+		BytesMoved:       s.BytesMoved,
+		StorageWork:      s.StorageWork,
+		SubstraitGen:     s.SubstraitGen,
+		Transfer:         s.Transfer,
+		DeserializeUnits: s.DeserializeUnits,
+		ResultRows:       s.ResultRows,
+	}
+}
+
+// Session carries per-query configuration, notably connector session
+// properties like the OCS pushdown mode.
+type Session struct {
+	props map[string]string
+}
+
+// NewSession returns an empty session.
+func NewSession() *Session { return &Session{props: map[string]string{}} }
+
+// Set assigns a property.
+func (s *Session) Set(key, value string) *Session {
+	s.props[key] = value
+	return s
+}
+
+// Get reads a property ("" when unset).
+func (s *Session) Get(key string) string { return s.props[key] }
+
+// ConnectorPlanOptimizer is the SPI hook the paper's connector extends:
+// it runs after global optimization and may rewrite the plan, typically
+// absorbing leaf-stage operators into the scan handle.
+type ConnectorPlanOptimizer interface {
+	Optimize(root plan.Node, session *Session) (plan.Node, error)
+}
+
+// Connector is the storage plugin interface (Presto's Connector SPI,
+// reduced to what this engine needs).
+type Connector interface {
+	// Name is the catalog name this connector serves.
+	Name() string
+	// TableHandle resolves a table to an opaque scan handle.
+	TableHandle(schema, table string) (plan.TableHandle, error)
+	// Splits enumerates the scan units for a handle.
+	Splits(handle plan.TableHandle) ([]Split, error)
+	// PlanOptimizer returns the connector's local optimizer (nil for
+	// connectors without pushdown logic beyond projection).
+	PlanOptimizer() ConnectorPlanOptimizer
+	// CreatePageSource opens one split for reading. The returned
+	// operator yields pages in handle.ScanSchema() order; connector
+	// metrics go into stats.
+	CreatePageSource(handle plan.TableHandle, split Split, stats *ScanStats) (exec.Operator, error)
+}
+
+// QueryStats is the engine's per-query report; the harness and Table 3
+// read from it.
+type QueryStats struct {
+	// Stage timings.
+	ParseAnalyze time.Duration
+	GlobalOpt    time.Duration
+	ConnectorOpt time.Duration
+	Execution    time.Duration
+	Total        time.Duration
+
+	// Connector-side metrics.
+	Scan ScanStats
+
+	// Compute-side operator work by stage.
+	LeafMeter  exec.Meter
+	FinalMeter exec.Meter
+
+	Splits       int
+	ResultRows   int
+	PlanText     string
+	PushedDown   []string // operator kinds absorbed by the connector
+	UsedPushdown bool
+}
+
+// QueryEvent is delivered to event listeners after each query (the
+// connector's monitoring hook, §4 "Pushdown Monitoring").
+type QueryEvent struct {
+	SQL     string
+	Catalog string
+	Table   string
+	Stats   *QueryStats
+	Err     error
+}
+
+// EventListener observes completed queries.
+type EventListener interface {
+	QueryCompleted(QueryEvent)
+}
+
+// describePushdown renders the pushdown list for logs.
+func describePushdown(ops []string) string {
+	if len(ops) == 0 {
+		return "none"
+	}
+	return strings.Join(ops, "+")
+}

@@ -1,0 +1,441 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"prestocs/internal/column"
+	"prestocs/internal/substrait"
+	"prestocs/internal/types"
+)
+
+// AggMode selects the aggregation phase.
+type AggMode uint8
+
+const (
+	// AggSingle consumes raw rows and emits final values.
+	AggSingle AggMode = iota
+	// AggPartial consumes raw rows and emits mergeable partial states
+	// (one column per measure). This is what OCS storage nodes and
+	// engine workers run.
+	AggPartial
+	// AggFinal consumes partial states (keys + one state column per
+	// measure, in measure order) and emits final values. This is the
+	// residual operator the engine keeps after aggregation pushdown.
+	AggFinal
+)
+
+// HashAggregate groups rows by key columns and computes measures.
+// Group keys appear first in the output schema, then one column per
+// measure. Output rows are ordered by first appearance of the group,
+// making results deterministic for tests.
+type HashAggregate struct {
+	input    Operator
+	keys     []int
+	measures []substrait.Measure
+	mode     AggMode
+	schema   *types.Schema
+	meter    *Meter
+	done     bool
+}
+
+type aggState struct {
+	keyVals []types.Value
+	sums    []float64 // sum state (float accumulate; int measures re-cast)
+	isums   []int64   // integer sum state to keep BIGINT sums exact
+	counts  []int64
+	mins    []types.Value
+	maxs    []types.Value
+}
+
+// NewHashAggregate validates measures against the input schema.
+func NewHashAggregate(input Operator, keys []int, measures []substrait.Measure, mode AggMode, meter *Meter) (*HashAggregate, error) {
+	in := input.Schema()
+	var cols []types.Column
+	for _, k := range keys {
+		if k < 0 || k >= in.Len() {
+			return nil, fmt.Errorf("exec: group key ordinal %d out of range", k)
+		}
+		cols = append(cols, in.Columns[k])
+	}
+	for i, m := range measures {
+		if !substrait.ValidAggFunc(m.Func) {
+			return nil, fmt.Errorf("exec: unknown aggregate %q", m.Func)
+		}
+		inKind := types.Int64
+		if mode == AggFinal {
+			// Partial-state column: keys first, then measure i.
+			stateCol := len(keys) + i
+			if stateCol >= in.Len() {
+				return nil, fmt.Errorf("exec: final aggregate input missing state column %d", stateCol)
+			}
+			inKind = in.Columns[stateCol].Type
+		} else if m.Func != substrait.AggCountStar {
+			if m.Arg < 0 || m.Arg >= in.Len() {
+				return nil, fmt.Errorf("exec: measure arg ordinal %d out of range", m.Arg)
+			}
+			inKind = in.Columns[m.Arg].Type
+		}
+		outKind, err := m.Func.ResultKind(inKind)
+		if err != nil {
+			return nil, err
+		}
+		if mode == AggFinal && (m.Func == substrait.AggCount || m.Func == substrait.AggCountStar) {
+			outKind = types.Int64
+		}
+		cols = append(cols, types.Column{Name: m.Name, Type: outKind})
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("exec: aggregate with no keys or measures")
+	}
+	return &HashAggregate{
+		input:    input,
+		keys:     keys,
+		measures: measures,
+		mode:     mode,
+		schema:   types.NewSchema(cols...),
+		meter:    meter,
+	}, nil
+}
+
+// Schema implements Operator.
+func (a *HashAggregate) Schema() *types.Schema { return a.schema }
+
+// Next implements Operator: it drains the input on first call and emits
+// the grouped result as one page.
+func (a *HashAggregate) Next() (*column.Page, error) {
+	if a.done {
+		return nil, nil
+	}
+	a.done = true
+
+	groups := map[string]*aggState{}
+	var order []string
+
+	for {
+		page, err := a.input.Next()
+		if err != nil {
+			return nil, err
+		}
+		if page == nil {
+			break
+		}
+		a.meter.charge(page.NumRows(), float64(len(a.keys))+2*float64(len(a.measures)))
+		for i := 0; i < page.NumRows(); i++ {
+			key, keyVals := a.groupKey(page, i)
+			st, ok := groups[key]
+			if !ok {
+				st = &aggState{
+					keyVals: keyVals,
+					sums:    make([]float64, len(a.measures)),
+					isums:   make([]int64, len(a.measures)),
+					counts:  make([]int64, len(a.measures)),
+					mins:    make([]types.Value, len(a.measures)),
+					maxs:    make([]types.Value, len(a.measures)),
+				}
+				for mi := range a.measures {
+					st.mins[mi] = types.NullValue(types.Unknown)
+					st.maxs[mi] = types.NullValue(types.Unknown)
+				}
+				groups[key] = st
+				order = append(order, key)
+			}
+			if err := a.accumulate(st, page, i); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// SQL semantics: a global aggregation (no GROUP BY) over empty input
+	// yields one row — count 0, other aggregates NULL. Partial mode emits
+	// nothing instead; the final stage synthesizes the default row.
+	if len(order) == 0 && len(a.keys) == 0 && a.mode != AggPartial {
+		out := column.NewPage(a.schema)
+		row := make([]types.Value, 0, a.schema.Len())
+		for mi, m := range a.measures {
+			switch m.Func {
+			case substrait.AggCount, substrait.AggCountStar:
+				row = append(row, types.IntValue(0))
+			default:
+				row = append(row, types.NullValue(a.schema.Columns[mi].Type))
+			}
+		}
+		out.AppendRow(row...)
+		return out, nil
+	}
+
+	out := column.NewPage(a.schema)
+	for _, key := range order {
+		st := groups[key]
+		row := make([]types.Value, 0, a.schema.Len())
+		row = append(row, st.keyVals...)
+		for mi, m := range a.measures {
+			row = append(row, a.finalValue(st, mi, m))
+		}
+		out.AppendRow(row...)
+	}
+	return out, nil
+}
+
+// groupKey builds a canonical string key plus the key values for row i.
+func (a *HashAggregate) groupKey(page *column.Page, i int) (string, []types.Value) {
+	vals := make([]types.Value, len(a.keys))
+	key := ""
+	for ki, k := range a.keys {
+		v := page.Vectors[k].Value(i)
+		vals[ki] = v
+		key += "\x00" + v.Kind.String() + ":" + v.String()
+		if v.Null {
+			key += "\x01null"
+		}
+	}
+	return key, vals
+}
+
+func (a *HashAggregate) accumulate(st *aggState, page *column.Page, row int) error {
+	for mi, m := range a.measures {
+		var v types.Value
+		switch {
+		case a.mode == AggFinal:
+			v = page.Vectors[len(a.keys)+mi].Value(row)
+		case m.Func == substrait.AggCountStar:
+			// count(*) consumes no input column.
+		default:
+			v = page.Vectors[m.Arg].Value(row)
+		}
+
+		fn := m.Func
+		if a.mode == AggFinal {
+			fn = mergeFunc(fn)
+		}
+		switch fn {
+		case substrait.AggCountStar:
+			st.counts[mi]++
+		case substrait.AggCount:
+			if !v.Null {
+				st.counts[mi]++
+			}
+		case substrait.AggSum:
+			if v.Null {
+				continue
+			}
+			st.counts[mi]++
+			if v.Kind == types.Int64 {
+				st.isums[mi] += v.I
+			} else {
+				st.sums[mi] += v.AsFloat()
+			}
+		case substrait.AggMin:
+			if v.Null {
+				continue
+			}
+			if st.mins[mi].Null || types.Compare(v, st.mins[mi]) < 0 {
+				st.mins[mi] = v
+			}
+		case substrait.AggMax:
+			if v.Null {
+				continue
+			}
+			if st.maxs[mi].Null || types.Compare(v, st.maxs[mi]) > 0 {
+				st.maxs[mi] = v
+			}
+		default:
+			return fmt.Errorf("exec: unsupported aggregate %q", fn)
+		}
+	}
+	return nil
+}
+
+// mergeFunc maps an original aggregate to the function that merges its
+// partial states: counts merge by summation, sums by summation, min/max
+// by min/max.
+func mergeFunc(f substrait.AggFunc) substrait.AggFunc {
+	switch f {
+	case substrait.AggCount, substrait.AggCountStar:
+		return substrait.AggSum
+	default:
+		return f
+	}
+}
+
+func (a *HashAggregate) finalValue(st *aggState, mi int, m substrait.Measure) types.Value {
+	outKind := a.schema.Columns[len(a.keys)+mi].Type
+	fn := m.Func
+	if a.mode == AggFinal {
+		fn = mergeFunc(fn)
+	}
+	switch fn {
+	case substrait.AggCount, substrait.AggCountStar:
+		return types.IntValue(st.counts[mi])
+	case substrait.AggSum:
+		if st.counts[mi] == 0 {
+			// SQL: SUM over empty group is NULL; COUNT merges emit 0.
+			if a.mode == AggFinal && (m.Func == substrait.AggCount || m.Func == substrait.AggCountStar) {
+				return types.IntValue(0)
+			}
+			return types.NullValue(outKind)
+		}
+		if outKind == types.Int64 {
+			return types.IntValue(st.isums[mi])
+		}
+		return types.FloatValue(st.sums[mi] + float64(st.isums[mi]))
+	case substrait.AggMin:
+		if st.mins[mi].Null {
+			return types.NullValue(outKind)
+		}
+		return st.mins[mi]
+	case substrait.AggMax:
+		if st.maxs[mi].Null {
+			return types.NullValue(outKind)
+		}
+		return st.maxs[mi]
+	default:
+		return types.NullValue(outKind)
+	}
+}
+
+// SortSpec orders rows by column ordinal.
+type SortSpec struct {
+	Column     int
+	Descending bool
+}
+
+// Sort fully sorts its input by the given keys (stable).
+type Sort struct {
+	input Operator
+	keys  []SortSpec
+	meter *Meter
+	done  bool
+}
+
+// NewSort validates sort keys.
+func NewSort(input Operator, keys []SortSpec, meter *Meter) (*Sort, error) {
+	in := input.Schema()
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("exec: sort with no keys")
+	}
+	for _, k := range keys {
+		if k.Column < 0 || k.Column >= in.Len() {
+			return nil, fmt.Errorf("exec: sort key ordinal %d out of range", k.Column)
+		}
+	}
+	return &Sort{input: input, keys: keys, meter: meter}, nil
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() *types.Schema { return s.input.Schema() }
+
+// Next implements Operator.
+func (s *Sort) Next() (*column.Page, error) {
+	if s.done {
+		return nil, nil
+	}
+	s.done = true
+	all, err := DrainToPage(s.input)
+	if err != nil {
+		return nil, err
+	}
+	n := all.NumRows()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return compareRows(all, idx[a], idx[b], s.keys) < 0
+	})
+	// n log n comparisons, each costing ~#keys units.
+	s.meter.charge(n, log2ish(n)*float64(len(s.keys)))
+	return all.Gather(idx), nil
+}
+
+func log2ish(n int) float64 {
+	bits := 0
+	for v := n; v > 1; v >>= 1 {
+		bits++
+	}
+	return float64(bits + 1)
+}
+
+func compareRows(p *column.Page, a, b int, keys []SortSpec) int {
+	for _, k := range keys {
+		c := types.Compare(p.Vectors[k.Column].Value(a), p.Vectors[k.Column].Value(b))
+		if c != 0 {
+			if k.Descending {
+				return -c
+			}
+			return c
+		}
+	}
+	return 0
+}
+
+// TopN keeps the n smallest rows under the sort keys, emitting them in
+// sorted order. It bounds memory at n rows regardless of input size.
+type TopN struct {
+	input Operator
+	keys  []SortSpec
+	n     int64
+	meter *Meter
+	done  bool
+}
+
+// NewTopN validates the keys and limit.
+func NewTopN(input Operator, keys []SortSpec, n int64, meter *Meter) (*TopN, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("exec: top-N with negative limit %d", n)
+	}
+	in := input.Schema()
+	for _, k := range keys {
+		if k.Column < 0 || k.Column >= in.Len() {
+			return nil, fmt.Errorf("exec: top-N key ordinal %d out of range", k.Column)
+		}
+	}
+	return &TopN{input: input, keys: keys, n: n, meter: meter}, nil
+}
+
+// Schema implements Operator.
+func (t *TopN) Schema() *types.Schema { return t.input.Schema() }
+
+// Next implements Operator.
+func (t *TopN) Next() (*column.Page, error) {
+	if t.done {
+		return nil, nil
+	}
+	t.done = true
+	if t.n == 0 {
+		return column.NewPage(t.input.Schema()), nil
+	}
+
+	// Bounded buffer: accumulate up to 2n rows, then cut back to n.
+	buf := column.NewPage(t.input.Schema())
+	cut := func() {
+		n := buf.NumRows()
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			return compareRows(buf, idx[a], idx[b], t.keys) < 0
+		})
+		if int64(len(idx)) > t.n {
+			idx = idx[:t.n]
+		}
+		buf = buf.Gather(idx)
+	}
+	for {
+		page, err := t.input.Next()
+		if err != nil {
+			return nil, err
+		}
+		if page == nil {
+			break
+		}
+		t.meter.charge(page.NumRows(), log2ish(int(t.n))*float64(len(t.keys)))
+		buf.AppendPage(page)
+		if int64(buf.NumRows()) >= 2*t.n {
+			cut()
+		}
+	}
+	cut()
+	return buf, nil
+}

@@ -1,0 +1,81 @@
+package exec
+
+import (
+	"testing"
+
+	"prestocs/internal/column"
+	"prestocs/internal/expr"
+	"prestocs/internal/substrait"
+	"prestocs/internal/types"
+)
+
+func benchPages(pages, rows int) (*types.Schema, []*column.Page) {
+	schema := types.NewSchema(
+		types.Column{Name: "k", Type: types.Int64},
+		types.Column{Name: "v", Type: types.Float64},
+	)
+	out := make([]*column.Page, pages)
+	n := 0
+	for p := range out {
+		page := column.NewPage(schema)
+		for r := 0; r < rows; r++ {
+			page.AppendRow(types.IntValue(int64(n%64)), types.FloatValue(float64(n)))
+			n++
+		}
+		out[p] = page
+	}
+	return schema, out
+}
+
+func BenchmarkFilter(b *testing.B) {
+	schema, pages := benchPages(16, 4096)
+	pred, _ := expr.NewCompare(expr.Gt, expr.Col(1, "v", types.Float64), expr.Lit(types.FloatValue(1000)))
+	b.SetBytes(int64(16 * 4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, _ := NewFilter(NewPageSource(schema, pages), pred, nil)
+		if _, err := Drain(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashAggregate(b *testing.B) {
+	schema, pages := benchPages(16, 4096)
+	measures := []substrait.Measure{
+		{Func: substrait.AggSum, Arg: 1, Name: "s"},
+		{Func: substrait.AggCountStar, Arg: -1, Name: "c"},
+	}
+	b.SetBytes(int64(16 * 4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, _ := NewHashAggregate(NewPageSource(schema, pages), []int{0}, measures, AggSingle, nil)
+		if _, err := Drain(agg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopN(b *testing.B) {
+	schema, pages := benchPages(16, 4096)
+	b.SetBytes(int64(16 * 4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topn, _ := NewTopN(NewPageSource(schema, pages), []SortSpec{{Column: 1, Descending: true}}, 100, nil)
+		if _, err := Drain(topn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSort(b *testing.B) {
+	schema, pages := benchPages(8, 4096)
+	b.SetBytes(int64(8 * 4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, _ := NewSort(NewPageSource(schema, pages), []SortSpec{{Column: 1}}, nil)
+		if _, err := Drain(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package exec implements the vectorized operator library shared by the
+// compute-side query engine (internal/engine) and the OCS embedded SQL
+// engine (internal/ocsserver): scan sources, filter, project, hash
+// aggregation (single/partial/final), sort, top-N and limit.
+//
+// Operators form pull-based pipelines: Next returns the next page or nil
+// when exhausted. Every operator meters the rows it processes and the
+// abstract CPU units it spends into a shared Meter, which the cost model
+// later prices using the hardware profile of whichever node ran the
+// pipeline (this is how the paper's "weak storage CPU" effect emerges).
+package exec
+
+import (
+	"fmt"
+
+	"prestocs/internal/column"
+	"prestocs/internal/expr"
+	"prestocs/internal/types"
+)
+
+// Meter accumulates work done by operators in one pipeline.
+type Meter struct {
+	// Rows is the total rows processed across operators.
+	Rows int64
+	// Units is abstract CPU work (expression cost × rows, comparison
+	// counts for sorts, hash probes for aggregation).
+	Units float64
+}
+
+// Add merges another meter into this one.
+func (m *Meter) Add(o Meter) {
+	m.Rows += o.Rows
+	m.Units += o.Units
+}
+
+func (m *Meter) charge(rows int, unitsPerRow float64) {
+	if m == nil {
+		return
+	}
+	m.Rows += int64(rows)
+	m.Units += float64(rows) * unitsPerRow
+}
+
+// Operator is a pull-based page producer.
+type Operator interface {
+	// Schema describes the pages produced.
+	Schema() *types.Schema
+	// Next returns the next page, or nil when the operator is exhausted.
+	Next() (*column.Page, error)
+}
+
+// PageSource replays a fixed set of pages (used for tests and as the
+// bridge from storage readers and deserialized Arrow results).
+type PageSource struct {
+	schema *types.Schema
+	pages  []*column.Page
+	pos    int
+}
+
+// NewPageSource wraps pages that all share schema.
+func NewPageSource(schema *types.Schema, pages []*column.Page) *PageSource {
+	return &PageSource{schema: schema, pages: pages}
+}
+
+// Schema implements Operator.
+func (s *PageSource) Schema() *types.Schema { return s.schema }
+
+// Next implements Operator.
+func (s *PageSource) Next() (*column.Page, error) {
+	if s.pos >= len(s.pages) {
+		return nil, nil
+	}
+	p := s.pages[s.pos]
+	s.pos++
+	return p, nil
+}
+
+// FuncSource pulls pages from a callback until it returns nil.
+type FuncSource struct {
+	schema *types.Schema
+	fn     func() (*column.Page, error)
+}
+
+// NewFuncSource wraps a pull callback.
+func NewFuncSource(schema *types.Schema, fn func() (*column.Page, error)) *FuncSource {
+	return &FuncSource{schema: schema, fn: fn}
+}
+
+// Schema implements Operator.
+func (s *FuncSource) Schema() *types.Schema { return s.schema }
+
+// Next implements Operator.
+func (s *FuncSource) Next() (*column.Page, error) { return s.fn() }
+
+// Filter drops rows not satisfying the predicate.
+type Filter struct {
+	input Operator
+	pred  expr.Expr
+	meter *Meter
+}
+
+// NewFilter validates the predicate against the input schema.
+func NewFilter(input Operator, pred expr.Expr, meter *Meter) (*Filter, error) {
+	if pred.Type() != types.Bool {
+		return nil, fmt.Errorf("exec: filter predicate has type %s", pred.Type())
+	}
+	return &Filter{input: input, pred: pred, meter: meter}, nil
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *types.Schema { return f.input.Schema() }
+
+// Next implements Operator.
+func (f *Filter) Next() (*column.Page, error) {
+	for {
+		page, err := f.input.Next()
+		if err != nil || page == nil {
+			return nil, err
+		}
+		keep, err := expr.EvalPredicate(f.pred, page)
+		if err != nil {
+			return nil, err
+		}
+		f.meter.charge(page.NumRows(), f.pred.Cost())
+		out := page.Filter(keep)
+		if out.NumRows() > 0 {
+			return out, nil
+		}
+		// All rows filtered; pull the next page rather than emitting an
+		// empty one.
+	}
+}
+
+// Project evaluates expressions into a new schema.
+type Project struct {
+	input  Operator
+	exprs  []expr.Expr
+	schema *types.Schema
+	meter  *Meter
+	cost   float64
+}
+
+// NewProject validates expressions and names.
+func NewProject(input Operator, exprs []expr.Expr, names []string, meter *Meter) (*Project, error) {
+	if len(exprs) == 0 {
+		return nil, fmt.Errorf("exec: project with no expressions")
+	}
+	if len(exprs) != len(names) {
+		return nil, fmt.Errorf("exec: project has %d exprs, %d names", len(exprs), len(names))
+	}
+	cols := make([]types.Column, len(exprs))
+	var cost float64
+	for i, e := range exprs {
+		cols[i] = types.Column{Name: names[i], Type: e.Type()}
+		cost += e.Cost()
+	}
+	return &Project{
+		input:  input,
+		exprs:  exprs,
+		schema: types.NewSchema(cols...),
+		meter:  meter,
+		cost:   cost,
+	}, nil
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *types.Schema { return p.schema }
+
+// Next implements Operator.
+func (p *Project) Next() (*column.Page, error) {
+	page, err := p.input.Next()
+	if err != nil || page == nil {
+		return nil, err
+	}
+	out := &column.Page{Schema: p.schema, Vectors: make([]*column.Vector, len(p.exprs))}
+	for i, e := range p.exprs {
+		vec, err := expr.Eval(e, page)
+		if err != nil {
+			return nil, err
+		}
+		out.Vectors[i] = vec
+	}
+	p.meter.charge(page.NumRows(), p.cost)
+	return out, nil
+}
+
+// Limit stops after n rows.
+type Limit struct {
+	input     Operator
+	remaining int64
+}
+
+// NewLimit caps output at n rows.
+func NewLimit(input Operator, n int64) *Limit {
+	return &Limit{input: input, remaining: n}
+}
+
+// Schema implements Operator.
+func (l *Limit) Schema() *types.Schema { return l.input.Schema() }
+
+// Next implements Operator.
+func (l *Limit) Next() (*column.Page, error) {
+	if l.remaining <= 0 {
+		return nil, nil
+	}
+	page, err := l.input.Next()
+	if err != nil || page == nil {
+		return nil, err
+	}
+	if int64(page.NumRows()) > l.remaining {
+		page = page.Slice(0, int(l.remaining))
+	}
+	l.remaining -= int64(page.NumRows())
+	return page, nil
+}
+
+// Drain pulls an operator to exhaustion, returning all pages.
+func Drain(op Operator) ([]*column.Page, error) {
+	var out []*column.Page
+	for {
+		p, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return out, nil
+		}
+		out = append(out, p)
+	}
+}
+
+// DrainToPage pulls an operator to exhaustion and concatenates the result
+// into a single page (empty page when no rows).
+func DrainToPage(op Operator) (*column.Page, error) {
+	pages, err := Drain(op)
+	if err != nil {
+		return nil, err
+	}
+	out := column.NewPage(op.Schema())
+	for _, p := range pages {
+		out.AppendPage(p)
+	}
+	return out, nil
+}

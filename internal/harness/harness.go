@@ -1,0 +1,246 @@
+// Package harness stands up the full reproduction topology in-process —
+// engine (coordinator + workers), OCS cluster (frontend + storage nodes)
+// and a plain object store, all over loopback TCP — loads generated
+// datasets into both storage systems, runs (query, pushdown-config,
+// codec) cells and prices each execution with the cost model. Both
+// cmd/experiments and the repository benchmarks drive it; every table and
+// figure in the paper maps to one of its Run* helpers (DESIGN.md §5).
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"prestocs/internal/connector/hive"
+	ocsconn "prestocs/internal/connector/ocs"
+	"prestocs/internal/costmodel"
+	"prestocs/internal/engine"
+	"prestocs/internal/metastore"
+	"prestocs/internal/objstore"
+	"prestocs/internal/ocsserver"
+	"prestocs/internal/workload"
+)
+
+// Catalog names the harness registers.
+const (
+	CatalogOCS  = "ocs"
+	CatalogHive = "hive"
+)
+
+// Cluster is the full in-process deployment.
+type Cluster struct {
+	Engine  *engine.Engine
+	Meta    *metastore.Metastore
+	OCS     *ocsserver.Cluster
+	OCSCli  *ocsserver.Client
+	ObjSrv  *objstore.Server
+	ObjCli  *objstore.Client
+	OCSConn *ocsconn.Connector
+	Params  costmodel.Params
+}
+
+// StartCluster launches the topology with the given storage-node count.
+func StartCluster(storageNodes int) (*Cluster, error) {
+	c := &Cluster{Meta: metastore.New(), Params: costmodel.Default()}
+
+	ocsCluster, err := ocsserver.StartCluster(storageNodes)
+	if err != nil {
+		return nil, err
+	}
+	c.OCS = ocsCluster
+	c.OCSCli = ocsserver.NewClient(ocsCluster.Addr)
+
+	c.ObjSrv = objstore.NewServer(objstore.NewStore())
+	objAddr, err := c.ObjSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.ObjCli = objstore.NewClient(objAddr)
+
+	c.Engine = engine.New()
+	c.Engine.DefaultCatalog = CatalogOCS
+	c.OCSConn = ocsconn.New(CatalogOCS, c.Meta, c.OCSCli)
+	c.Engine.AddConnector(c.OCSConn)
+	c.Engine.AddConnector(hive.New(CatalogHive, c.Meta, c.ObjCli))
+	c.Engine.AddEventListener(c.OCSConn.Monitor())
+	return c, nil
+}
+
+// Close shuts everything down.
+func (c *Cluster) Close() {
+	if c.OCSCli != nil {
+		c.OCSCli.Close()
+	}
+	if c.OCS != nil {
+		c.OCS.Shutdown()
+	}
+	if c.ObjCli != nil {
+		c.ObjCli.Close()
+	}
+	if c.ObjSrv != nil {
+		c.ObjSrv.Close()
+	}
+}
+
+// Load uploads a dataset to both storage systems and registers it under
+// both catalogs.
+func (c *Cluster) Load(d *workload.Dataset) error {
+	if err := d.UploadOCS(c.OCSCli); err != nil {
+		return err
+	}
+	if err := d.UploadObjStore(c.ObjCli); err != nil {
+		return err
+	}
+	if err := d.Register(c.Meta, CatalogOCS); err != nil {
+		return err
+	}
+	return d.Register(c.Meta, CatalogHive)
+}
+
+// Cell is one measured experiment point.
+type Cell struct {
+	Label string
+	// Wall is the real in-process execution time.
+	Wall time.Duration
+	// Modeled prices the metered execution with Table 1 hardware.
+	Modeled costmodel.Breakdown
+	// BytesMoved crossed the compute/storage boundary.
+	BytesMoved int64
+	// Rows is the result row count.
+	Rows int
+	// Pushed lists operators absorbed by the connector.
+	Pushed []string
+	// Stats is the engine's full report.
+	Stats *engine.QueryStats
+}
+
+// Run executes one query under a session and prices it.
+func (c *Cluster) Run(label, query string, session *engine.Session) (*Cell, error) {
+	start := time.Now()
+	res, err := c.Engine.Execute(query, session)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", label, err)
+	}
+	wall := time.Since(start)
+	scan := res.Stats.Scan.Snapshot()
+	measured := costmodel.Measured{
+		StorageBytesRead: scan.StorageWork.BytesRead,
+		StorageCPUUnits:  scan.StorageWork.CPUUnits,
+		BytesMoved:       scan.BytesMoved,
+		ComputeCPUUnits:  res.Stats.LeafMeter.Units + res.Stats.FinalMeter.Units,
+		IngestUnits:      scan.DeserializeUnits,
+		RoundTrips:       int64(res.Stats.Splits),
+	}
+	return &Cell{
+		Label:      label,
+		Wall:       wall,
+		Modeled:    c.Params.Model(measured),
+		BytesMoved: scan.BytesMoved,
+		Rows:       res.Page.NumRows(),
+		Pushed:     res.Stats.PushedDown,
+		Stats:      res.Stats,
+	}, nil
+}
+
+// PushdownStep is one x-axis position of Figure 5.
+type PushdownStep struct {
+	Label string
+	Mode  string // ocs.pushdown session value
+}
+
+// Fig5Steps returns the paper's progressive sweep for a dataset. Laghos
+// has no expression projection, so its steps go filter → +agg → +topn;
+// Deep Water and TPC-H go filter → +project → +agg.
+func Fig5Steps(dataset string) []PushdownStep {
+	switch dataset {
+	case "laghos":
+		return []PushdownStep{
+			{"no pushdown", "none"},
+			{"filter", "filter"},
+			{"filter+agg", "filter_agg"},
+			{"filter+agg+topn", "all"},
+		}
+	default:
+		return []PushdownStep{
+			{"no pushdown", "none"},
+			{"filter", "filter"},
+			{"filter+project", "filter_project"},
+			{"filter+project+agg", "filter_project_agg"},
+		}
+	}
+}
+
+// RunFig5 sweeps the progressive pushdown configurations over a dataset.
+func (c *Cluster) RunFig5(d *workload.Dataset) ([]*Cell, error) {
+	var cells []*Cell
+	for _, step := range Fig5Steps(d.Name) {
+		session := engine.NewSession().Set(ocsconn.SessionPushdown, step.Mode)
+		cell, err := c.Run(step.Label, d.Query, session)
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
+	return cells, nil
+}
+
+// RunFig6Cell runs one compression×pushdown point over Deep Water.
+func (c *Cluster) RunFig6Cell(d *workload.Dataset, mode string) (*Cell, error) {
+	session := engine.NewSession().Set(ocsconn.SessionPushdown, mode)
+	return c.Run(d.Table.Codec.String()+"/"+mode, d.Query, session)
+}
+
+// Selectivity computes Table 2's metric for a finished cell: result bytes
+// over stored input bytes.
+func Selectivity(cell *Cell, d *workload.Dataset) float64 {
+	if d.Table.TotalBytes == 0 {
+		return 0
+	}
+	var resultBytes int64
+	if cell.Stats != nil {
+		resultBytes = int64(cell.Rows) * avgRowBytes(d)
+	}
+	return float64(resultBytes) / float64(d.Table.TotalBytes)
+}
+
+func avgRowBytes(d *workload.Dataset) int64 {
+	// Rough fixed-width estimate: 8 bytes per column.
+	return int64(d.Table.Columns.Len()) * 8
+}
+
+// Breakdown is Table 3: stage shares for a single query.
+type Breakdown struct {
+	PlanAnalysis time.Duration // logical plan traversal (connector opt)
+	SubstraitGen time.Duration
+	Transfer     time.Duration // pushdown execution + result transfer
+	Residual     time.Duration // engine execution after the scan
+	Other        time.Duration
+	Total        time.Duration
+}
+
+// RunTable3 executes the Laghos query over a single-object dataset and
+// splits its wall time into the paper's stages.
+func (c *Cluster) RunTable3(d *workload.Dataset) (*Breakdown, error) {
+	session := engine.NewSession().Set(ocsconn.SessionPushdown, "all")
+	cell, err := c.Run("table3", d.Query, session)
+	if err != nil {
+		return nil, err
+	}
+	scan := cell.Stats.Scan.Snapshot()
+	b := &Breakdown{
+		PlanAnalysis: cell.Stats.ConnectorOpt,
+		SubstraitGen: scan.SubstraitGen,
+		Transfer:     scan.Transfer,
+		Total:        cell.Stats.Total,
+	}
+	b.Residual = cell.Stats.Execution - scan.Transfer - scan.SubstraitGen
+	if b.Residual < 0 {
+		b.Residual = 0
+	}
+	b.Other = b.Total - b.PlanAnalysis - b.SubstraitGen - b.Transfer - b.Residual
+	if b.Other < 0 {
+		b.Other = 0
+	}
+	return b, nil
+}

@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"testing"
+
+	"prestocs/internal/compress"
+	"prestocs/internal/workload"
+)
+
+// TestScaleWidensSeparation backs EXPERIMENTS.md's claim that the gap to
+// the paper's ratios is a scale artifact: growing the dataset must widen
+// (or at least not shrink) full-pushdown's advantage over filter-only in
+// data movement.
+func TestScaleWidensSeparation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale sweep")
+	}
+	movementRatio := func(files, rows int) float64 {
+		c, err := StartCluster(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		d, err := workload.Laghos(workload.Config{Files: files, RowsPerFile: rows, Seed: 3, Codec: compress.None})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Load(d); err != nil {
+			t.Fatal(err)
+		}
+		cells, err := c.RunFig5(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		filter, full := cells[1], cells[len(cells)-1]
+		return float64(filter.BytesMoved) / float64(full.BytesMoved)
+	}
+	small := movementRatio(2, 4096)
+	large := movementRatio(4, 16384)
+	if large <= small {
+		t.Errorf("movement ratio did not grow with scale: small=%.1f large=%.1f", small, large)
+	}
+	t.Logf("filter/full movement ratio: %.1fx at small scale, %.1fx at large scale", small, large)
+}

@@ -1,0 +1,192 @@
+// Package metastore implements the Hive-metastore-like catalog: schemas,
+// tables, their object layout (which bucket/objects hold the data) and
+// column statistics (min/max, NDV, null count, row count). The Presto-OCS
+// connector's Selectivity Analyzer consumes these statistics exactly as
+// the paper describes (§4: min/max for range-filter selectivity, NDV for
+// aggregation cardinality, row count for reduction ratios).
+package metastore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"prestocs/internal/compress"
+	"prestocs/internal/parquetlite"
+	"prestocs/internal/types"
+)
+
+// ColumnStats describes one column of a table.
+type ColumnStats struct {
+	Min       types.Value `json:"min"`
+	Max       types.Value `json:"max"`
+	NullCount int64       `json:"null_count"`
+	// NDV is the number of distinct values (exact when computed by the
+	// generator, else an estimate).
+	NDV int64 `json:"ndv"`
+}
+
+// Table is a catalog entry.
+type Table struct {
+	Schema  string        `json:"schema"`
+	Name    string        `json:"name"`
+	Columns *types.Schema `json:"columns"`
+	// Bucket and Objects give the object-store layout: one object per
+	// file, each a parquetlite image. Objects are the unit of split
+	// generation.
+	Bucket  string   `json:"bucket"`
+	Objects []string `json:"objects"`
+	// Codec records the column-chunk compression.
+	Codec compress.Codec `json:"codec"`
+	// RowCount is the total row count across objects.
+	RowCount int64 `json:"row_count"`
+	// TotalBytes is the stored (compressed) size across objects.
+	TotalBytes int64 `json:"total_bytes"`
+	// ColumnStats is keyed by column name.
+	ColumnStats map[string]ColumnStats `json:"column_stats"`
+	// DisjointKeys lists columns whose values never span objects (e.g.
+	// mesh subdomain ids in simulation outputs). Grouping by such columns
+	// makes per-object aggregation complete, which the OCS connector
+	// requires before pushing post-aggregation operators.
+	DisjointKeys []string `json:"disjoint_keys,omitempty"`
+}
+
+// QualifiedName returns "schema.name".
+func (t *Table) QualifiedName() string { return t.Schema + "." + t.Name }
+
+// Stats returns the stats for a column, with ok=false when absent.
+func (t *Table) Stats(column string) (ColumnStats, bool) {
+	cs, ok := t.ColumnStats[column]
+	return cs, ok
+}
+
+// Metastore is a thread-safe catalog.
+type Metastore struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New returns an empty metastore.
+func New() *Metastore {
+	return &Metastore{tables: make(map[string]*Table)}
+}
+
+// Register adds or replaces a table.
+func (m *Metastore) Register(t *Table) error {
+	if t.Schema == "" || t.Name == "" {
+		return fmt.Errorf("metastore: table needs schema and name")
+	}
+	if t.Columns == nil || t.Columns.Len() == 0 {
+		return fmt.Errorf("metastore: table %s has no columns", t.QualifiedName())
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.tables[strings.ToLower(t.QualifiedName())] = t
+	return nil
+}
+
+// Get looks a table up by schema and name (case-insensitive).
+func (m *Metastore) Get(schema, name string) (*Table, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.tables[strings.ToLower(schema+"."+name)]
+	if !ok {
+		return nil, fmt.Errorf("metastore: no such table %s.%s", schema, name)
+	}
+	return t, nil
+}
+
+// List returns all qualified table names, sorted.
+func (m *Metastore) List() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []string
+	for _, t := range m.tables {
+		out = append(out, t.QualifiedName())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Drop removes a table.
+func (m *Metastore) Drop(schema, name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.tables, strings.ToLower(schema+"."+name))
+}
+
+// Save persists the catalog as JSON.
+func (m *Metastore) Save(path string) error {
+	m.mu.RLock()
+	tables := make([]*Table, 0, len(m.tables))
+	for _, t := range m.tables {
+		tables = append(tables, t)
+	}
+	m.mu.RUnlock()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].QualifiedName() < tables[j].QualifiedName() })
+	data, err := json.MarshalIndent(tables, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a catalog saved by Save.
+func Load(path string) (*Metastore, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tables []*Table
+	if err := json.Unmarshal(data, &tables); err != nil {
+		return nil, fmt.Errorf("metastore: parsing %s: %w", path, err)
+	}
+	m := New()
+	for _, t := range tables {
+		if err := m.Register(t); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// StatsFromObjects aggregates table statistics by reading the footers of
+// object images. NDV is estimated per column by merging chunk-level
+// min/max heuristics; callers that know exact NDVs (the data generators)
+// should overwrite them.
+func StatsFromObjects(schema *types.Schema, images [][]byte) (rowCount, totalBytes int64, colStats map[string]ColumnStats, err error) {
+	colStats = make(map[string]ColumnStats, schema.Len())
+	for _, c := range schema.Columns {
+		colStats[c.Name] = ColumnStats{
+			Min: types.NullValue(c.Type),
+			Max: types.NullValue(c.Type),
+		}
+	}
+	for _, img := range images {
+		r, rerr := parquetlite.NewReader(img)
+		if rerr != nil {
+			return 0, 0, nil, rerr
+		}
+		if !r.Schema().Equal(schema) {
+			return 0, 0, nil, fmt.Errorf("metastore: object schema %s does not match table %s", r.Schema(), schema)
+		}
+		rowCount += r.NumRows()
+		totalBytes += int64(len(img))
+		for ci, c := range schema.Columns {
+			st := r.ColumnStats(ci)
+			agg := colStats[c.Name]
+			agg.NullCount += st.NullCount
+			if !st.Min.Null && (agg.Min.Null || types.Compare(st.Min, agg.Min) < 0) {
+				agg.Min = st.Min
+			}
+			if !st.Max.Null && (agg.Max.Null || types.Compare(st.Max, agg.Max) > 0) {
+				agg.Max = st.Max
+			}
+			colStats[c.Name] = agg
+		}
+	}
+	return rowCount, totalBytes, colStats, nil
+}

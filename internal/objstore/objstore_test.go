@@ -1,0 +1,303 @@
+package objstore
+
+import (
+	"strings"
+	"testing"
+
+	"prestocs/internal/column"
+	"prestocs/internal/compress"
+	"prestocs/internal/expr"
+	"prestocs/internal/parquetlite"
+	"prestocs/internal/types"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	s.CreateBucket("b")
+	s.Put("b", "k1", []byte("v1"))
+	s.Put("b", "k2", []byte("v2"))
+	s.Put("c", "x", []byte("y")) // implicit bucket
+
+	data, err := s.Get("b", "k1")
+	if err != nil || string(data) != "v1" {
+		t.Errorf("Get = %q, %v", data, err)
+	}
+	if _, err := s.Get("nope", "k"); err == nil {
+		t.Error("missing bucket accepted")
+	}
+	if _, err := s.Get("b", "nope"); err == nil {
+		t.Error("missing key accepted")
+	}
+	keys, err := s.List("b", "")
+	if err != nil || len(keys) != 2 || keys[0] != "k1" {
+		t.Errorf("List = %v, %v", keys, err)
+	}
+	keys, _ = s.List("b", "k2")
+	if len(keys) != 1 || keys[0] != "k2" {
+		t.Errorf("prefix list = %v", keys)
+	}
+	if got := s.Buckets(); len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Errorf("Buckets = %v", got)
+	}
+	if s.Size("b", "k1") != 2 || s.Size("b", "zz") != -1 {
+		t.Error("Size wrong")
+	}
+	s.Delete("b", "k1")
+	if _, err := s.Get("b", "k1"); err == nil {
+		t.Error("deleted object still readable")
+	}
+	s.Delete("b", "k1") // idempotent
+	// Put copies its input.
+	buf := []byte("abc")
+	s.Put("b", "copy", buf)
+	buf[0] = 'X'
+	data, _ = s.Get("b", "copy")
+	if string(data) != "abc" {
+		t.Error("Put must copy data")
+	}
+}
+
+func TestWorkStatsAdd(t *testing.T) {
+	a := WorkStats{BytesRead: 1, BytesDecompressed: 2, CPUUnits: 3, RowsProcessed: 4}
+	a.Add(WorkStats{BytesRead: 10, BytesDecompressed: 20, CPUUnits: 30, RowsProcessed: 40})
+	if a.BytesRead != 11 || a.BytesDecompressed != 22 || a.CPUUnits != 33 || a.RowsProcessed != 44 {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func tableSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "id", Type: types.Int64},
+		types.Column{Name: "x", Type: types.Float64},
+		types.Column{Name: "name", Type: types.String},
+	)
+}
+
+func tableObject(t *testing.T, codec compress.Codec) []byte {
+	t.Helper()
+	p := column.NewPage(tableSchema())
+	for i := 0; i < 100; i++ {
+		p.AppendRow(
+			types.IntValue(int64(i)),
+			types.FloatValue(float64(i)/10),
+			types.StringValue([]string{"red", "green", "blue"}[i%3]),
+		)
+	}
+	data, err := parquetlite.WritePages(tableSchema(), parquetlite.WriterOptions{Codec: codec, RowGroupSize: 32}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer(NewStore())
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(addr)
+	t.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+	})
+	return srv, cli
+}
+
+func TestClientPutGetListDelete(t *testing.T) {
+	_, cli := startServer(t)
+	if err := cli.Put("bkt", "obj1", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Put("bkt", "obj2", []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	data, st, err := cli.Get("bkt", "obj1")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("Get = %q, %v", data, err)
+	}
+	if st.BytesRead != 5 {
+		t.Errorf("get stats = %+v", st)
+	}
+	keys, err := cli.List("bkt", "obj")
+	if err != nil || len(keys) != 2 {
+		t.Errorf("List = %v, %v", keys, err)
+	}
+	if err := cli.Delete("bkt", "obj1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cli.Get("bkt", "obj1"); err == nil {
+		t.Error("get of deleted object succeeded")
+	}
+	if err := cli.Put("", "", nil); err == nil {
+		t.Error("empty put accepted")
+	}
+	if _, err := cli.List("missing", ""); err == nil {
+		t.Error("list of missing bucket accepted")
+	}
+	if cli.Meter().Calls() == 0 {
+		t.Error("client meter not counting")
+	}
+}
+
+func TestSelectFullScan(t *testing.T) {
+	_, cli := startServer(t)
+	if err := cli.Put("data", "t.pql", tableObject(t, compress.None)); err != nil {
+		t.Fatal(err)
+	}
+	csvData, st, err := cli.Select("data", "t.pql", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, units, err := ParseSelectCSV(csvData, tableSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.NumRows() != 100 || page.NumCols() != 3 {
+		t.Errorf("select all = %dx%d", page.NumRows(), page.NumCols())
+	}
+	if units <= 0 || st.RowsProcessed != 100 || st.BytesRead <= 0 {
+		t.Errorf("stats = %+v units=%v", st, units)
+	}
+}
+
+func TestSelectFilterAndProjection(t *testing.T) {
+	_, cli := startServer(t)
+	if err := cli.Put("data", "t.pql", tableObject(t, compress.Snappy)); err != nil {
+		t.Fatal(err)
+	}
+	// id >= 90 (full-schema ordinal 0).
+	pred, _ := expr.NewCompare(expr.Ge, expr.Col(0, "id", types.Int64), expr.Lit(types.IntValue(90)))
+	csvData, st, err := cli.Select("data", "t.pql", []string{"name", "id"}, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _, err := ParseSelectCSV(csvData, tableSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.NumRows() != 10 {
+		t.Errorf("filtered rows = %d", page.NumRows())
+	}
+	if page.Schema.Columns[0].Name != "name" || page.Schema.Columns[1].Name != "id" {
+		t.Errorf("projected schema = %v", page.Schema)
+	}
+	if page.Row(0)[1].I != 90 {
+		t.Errorf("first row id = %v", page.Row(0)[1])
+	}
+	// Row-group pruning: only the last of 4 groups (32 rows) matches.
+	if st.RowsProcessed >= 100 {
+		t.Errorf("pruning did not engage: processed %d rows", st.RowsProcessed)
+	}
+	if st.CPUUnits <= 0 || st.BytesDecompressed <= 0 {
+		t.Errorf("storage work not metered: %+v", st)
+	}
+}
+
+func TestSelectProjectionReducesBytes(t *testing.T) {
+	_, cli := startServer(t)
+	if err := cli.Put("data", "t.pql", tableObject(t, compress.None)); err != nil {
+		t.Fatal(err)
+	}
+	cli.Meter().Reset()
+	if _, _, err := cli.Select("data", "t.pql", []string{"id"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	projected := cli.Meter().Received()
+	cli.Meter().Reset()
+	if _, _, err := cli.Select("data", "t.pql", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	full := cli.Meter().Received()
+	if projected >= full {
+		t.Errorf("projection must reduce transfer: %d vs %d", projected, full)
+	}
+}
+
+func TestSelectErrors(t *testing.T) {
+	_, cli := startServer(t)
+	if err := cli.Put("data", "bad.pql", []byte("not a parquet file")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cli.Select("data", "bad.pql", nil, nil); err == nil {
+		t.Error("select over corrupt object succeeded")
+	}
+	if _, _, err := cli.Select("data", "missing.pql", nil, nil); err == nil {
+		t.Error("select over missing object succeeded")
+	}
+	if err := cli.Put("data", "t.pql", tableObject(t, compress.None)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cli.Select("data", "t.pql", []string{"nosuch"}, nil); err == nil {
+		t.Error("unknown column accepted")
+	}
+	badPred, _ := expr.NewCompare(expr.Gt, expr.Col(99, "zz", types.Int64), expr.Lit(types.IntValue(0)))
+	if _, _, err := cli.Select("data", "t.pql", nil, badPred); err == nil {
+		t.Error("out-of-range predicate ordinal accepted")
+	}
+}
+
+func TestParseSelectCSVErrors(t *testing.T) {
+	schema := tableSchema()
+	if _, _, err := ParseSelectCSV([]byte(""), schema); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	if _, _, err := ParseSelectCSV([]byte("wat\n1\n"), schema); err == nil {
+		t.Error("unknown header accepted")
+	}
+	if _, _, err := ParseSelectCSV([]byte("id\nxyz\n"), schema); err == nil {
+		t.Error("bad int accepted")
+	}
+}
+
+func TestSelectCSVStringQuoting(t *testing.T) {
+	schema := types.NewSchema(types.Column{Name: "s", Type: types.String})
+	p := column.NewPage(schema)
+	p.AppendRow(types.StringValue(`comma, "quoted"`))
+	data, err := parquetlite.WritePages(schema, parquetlite.WriterOptions{}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cli := startServer(t)
+	if err := cli.Put("d", "q.pql", data); err != nil {
+		t.Fatal(err)
+	}
+	csvData, _, err := cli.Select("d", "q.pql", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _, err := ParseSelectCSV(csvData, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := page.Row(0)[0].S; got != `comma, "quoted"` {
+		t.Errorf("quoting broken: %q", got)
+	}
+	if !strings.Contains(string(csvData), `"`) {
+		t.Error("csv did not quote special chars")
+	}
+}
+
+func TestSelectDoubleSupport(t *testing.T) {
+	// The paper notes S3 Select lacks double support; ours must not.
+	schema := types.NewSchema(types.Column{Name: "v", Type: types.Float64})
+	p := column.NewPage(schema)
+	p.AppendRow(types.FloatValue(3.141592653589793))
+	data, _ := parquetlite.WritePages(schema, parquetlite.WriterOptions{}, p)
+	_, cli := startServer(t)
+	if err := cli.Put("d", "f.pql", data); err != nil {
+		t.Fatal(err)
+	}
+	csvData, _, err := cli.Select("d", "f.pql", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _, err := ParseSelectCSV(csvData, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if page.Row(0)[0].F != 3.141592653589793 {
+		t.Errorf("double precision lost: %v", page.Row(0)[0].F)
+	}
+}

@@ -1,0 +1,199 @@
+package ocsserver
+
+import (
+	"prestocs/internal/arrowlite"
+	"prestocs/internal/column"
+	"prestocs/internal/objstore"
+	"prestocs/internal/protowire"
+	"prestocs/internal/rpc"
+	"prestocs/internal/substrait"
+	"prestocs/internal/types"
+)
+
+// Client is the application-side handle to an OCS frontend. The
+// Presto-OCS connector's PageSourceProvider holds one of these.
+type Client struct {
+	rpc *rpc.Client
+}
+
+// NewClient dials an OCS frontend.
+func NewClient(addr string) *Client { return &Client{rpc: rpc.Dial(addr)} }
+
+// Close releases connections.
+func (c *Client) Close() error { return c.rpc.Close() }
+
+// Meter exposes the transport meter; the harness reads it as compute ↔
+// OCS data movement.
+func (c *Client) Meter() *rpc.Meter { return &c.rpc.Meter }
+
+// Result is a decoded in-storage execution result.
+type Result struct {
+	Schema *types.Schema
+	Pages  []*column.Page
+	// Stats is the storage-side work the query performed.
+	Stats objstore.WorkStats
+	// ArrowBytes is the size of the serialized Arrow stream received.
+	ArrowBytes int64
+}
+
+// Execute marshals the plan, ships it to OCS and decodes the Arrow
+// result.
+func (c *Client) Execute(plan *substrait.Plan) (*Result, error) {
+	payload, err := substrait.Marshal(plan)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.rpc.Call(MethodExecute, payload)
+	if err != nil {
+		return nil, err
+	}
+	d := protowire.NewDecoder(resp)
+	var arrow []byte
+	var stats objstore.WorkStats
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case 1:
+			arrow, err = d.Bytes()
+		case 2:
+			var m *protowire.Decoder
+			m, err = d.Message()
+			if err == nil {
+				stats, err = decodeWorkStats(m)
+			}
+		default:
+			err = d.Skip(ty)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	schema, pages, err := arrowlite.Deserialize(arrow)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: schema, Pages: pages, Stats: stats, ArrowBytes: int64(len(arrow))}, nil
+}
+
+// Put uploads an object through the frontend.
+func (c *Client) Put(bucket, key string, data []byte) error {
+	e := protowire.NewEncoder()
+	e.String(1, bucket)
+	e.String(2, key)
+	e.Bytes(3, data)
+	_, err := c.rpc.Call(MethodPut, e.Encoded())
+	return err
+}
+
+// Get downloads a whole object (the no-pushdown path).
+func (c *Client) Get(bucket, key string) ([]byte, objstore.WorkStats, error) {
+	e := protowire.NewEncoder()
+	e.String(1, bucket)
+	e.String(2, key)
+	resp, err := c.rpc.Call(MethodGet, e.Encoded())
+	if err != nil {
+		return nil, objstore.WorkStats{}, err
+	}
+	d := protowire.NewDecoder(resp)
+	var data []byte
+	var stats objstore.WorkStats
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return nil, stats, err
+		}
+		switch f {
+		case 1:
+			data, err = d.Bytes()
+		case 2:
+			var m *protowire.Decoder
+			m, err = d.Message()
+			if err == nil {
+				stats, err = decodeWorkStats(m)
+			}
+		default:
+			err = d.Skip(ty)
+		}
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	return data, stats, nil
+}
+
+// List returns all keys with the prefix across storage nodes.
+func (c *Client) List(bucket, prefix string) ([]string, error) {
+	e := protowire.NewEncoder()
+	e.String(1, bucket)
+	e.String(2, prefix)
+	resp, err := c.rpc.Call(MethodList, e.Encoded())
+	if err != nil {
+		return nil, err
+	}
+	d := protowire.NewDecoder(resp)
+	var keys []string
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		if f != 1 {
+			if err := d.Skip(ty); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		k, err := d.String()
+		if err != nil {
+			return nil, err
+		}
+		keys = append(keys, k)
+	}
+	return keys, nil
+}
+
+// Cluster bundles an in-process OCS deployment: storage nodes plus a
+// frontend, all listening on loopback TCP. Tests, examples and the
+// experiment harness use it to stand up the full distributed topology.
+type Cluster struct {
+	Nodes    []*StorageNode
+	Front    *Frontend
+	Addr     string // frontend address
+	NodeAddr []string
+}
+
+// StartCluster launches n storage nodes and a frontend on loopback.
+func StartCluster(n int) (*Cluster, error) {
+	c := &Cluster{}
+	for i := 0; i < n; i++ {
+		node := NewStorageNode(i)
+		addr, err := node.Listen("127.0.0.1:0")
+		if err != nil {
+			c.Shutdown()
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, node)
+		c.NodeAddr = append(c.NodeAddr, addr)
+	}
+	c.Front = NewFrontend(c.NodeAddr)
+	addr, err := c.Front.Listen("127.0.0.1:0")
+	if err != nil {
+		c.Shutdown()
+		return nil, err
+	}
+	c.Addr = addr
+	return c, nil
+}
+
+// Shutdown stops the frontend and all nodes.
+func (c *Cluster) Shutdown() {
+	if c.Front != nil {
+		c.Front.Close()
+	}
+	for _, n := range c.Nodes {
+		n.Close()
+	}
+}

@@ -1,0 +1,190 @@
+// Package ocsserver implements the Object-based Computational Storage
+// system: a frontend node that accepts Substrait plans over RPC and
+// dispatches them to storage nodes, each of which holds objects and runs
+// an embedded SQL engine (built from internal/exec) directly over its
+// parquetlite objects, returning Apache Arrow-style columnar results.
+// This mirrors the paper's OCS architecture (§2.3, §5.1).
+package ocsserver
+
+import (
+	"fmt"
+
+	"prestocs/internal/column"
+	"prestocs/internal/compress"
+	"prestocs/internal/exec"
+	"prestocs/internal/expr"
+	"prestocs/internal/objstore"
+	"prestocs/internal/parquetlite"
+	"prestocs/internal/substrait"
+)
+
+// compilePlan lowers a validated Substrait plan into an exec pipeline over
+// the local store. The meter accumulates storage-side CPU work; reader
+// I/O is merged into stats after execution.
+//
+// Row-group pruning: when a FilterRel sits directly on the ReadRel, the
+// filter condition is remapped to full-schema ordinals and used to prune
+// row groups via chunk statistics before any column data is read.
+func compilePlan(store *objstore.Store, plan *substrait.Plan, meter *exec.Meter, stats *objstore.WorkStats) (exec.Operator, error) {
+	return compileRel(store, plan.Root, meter, stats)
+}
+
+func compileRel(store *objstore.Store, rel substrait.Rel, meter *exec.Meter, stats *objstore.WorkStats) (exec.Operator, error) {
+	switch t := rel.(type) {
+	case *substrait.ReadRel:
+		return compileRead(store, t, nil, meter, stats)
+	case *substrait.FilterRel:
+		if read, ok := t.Input.(*substrait.ReadRel); ok {
+			// Fuse filter into the scan so pruning can use the predicate.
+			src, err := compileRead(store, read, t.Condition, meter, stats)
+			if err != nil {
+				return nil, err
+			}
+			return exec.NewFilter(src, t.Condition, meter)
+		}
+		input, err := compileRel(store, t.Input, meter, stats)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewFilter(input, t.Condition, meter)
+	case *substrait.ProjectRel:
+		input, err := compileRel(store, t.Input, meter, stats)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewProject(input, t.Expressions, t.Names, meter)
+	case *substrait.AggregateRel:
+		input, err := compileRel(store, t.Input, meter, stats)
+		if err != nil {
+			return nil, err
+		}
+		// Storage nodes always produce partial aggregates; the engine
+		// merges them (DESIGN.md §4).
+		return exec.NewHashAggregate(input, t.GroupKeys, t.Measures, exec.AggPartial, meter)
+	case *substrait.SortRel:
+		input, err := compileRel(store, t.Input, meter, stats)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]exec.SortSpec, len(t.Keys))
+		for i, k := range t.Keys {
+			keys[i] = exec.SortSpec{Column: k.Column, Descending: k.Descending}
+		}
+		return exec.NewSort(input, keys, meter)
+	case *substrait.FetchRel:
+		// Sort+Fetch compiles to TopN; bare Fetch to Limit.
+		if sortRel, ok := t.Input.(*substrait.SortRel); ok {
+			input, err := compileRel(store, sortRel.Input, meter, stats)
+			if err != nil {
+				return nil, err
+			}
+			keys := make([]exec.SortSpec, len(sortRel.Keys))
+			for i, k := range sortRel.Keys {
+				keys[i] = exec.SortSpec{Column: k.Column, Descending: k.Descending}
+			}
+			return exec.NewTopN(input, keys, t.Offset+t.Count, meter)
+		}
+		input, err := compileRel(store, t.Input, meter, stats)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewLimit(input, t.Offset+t.Count), nil
+	default:
+		return nil, fmt.Errorf("ocsserver: unsupported relation %T", rel)
+	}
+}
+
+// compileRead builds a page source over the object, applying column
+// projection and (when pruneWith is non-nil) row-group pruning.
+func compileRead(store *objstore.Store, read *substrait.ReadRel, pruneWith expr.Expr, meter *exec.Meter, stats *objstore.WorkStats) (exec.Operator, error) {
+	data, err := store.Get(read.Bucket, read.Object)
+	if err != nil {
+		return nil, err
+	}
+	r, err := parquetlite.NewReader(data)
+	if err != nil {
+		return nil, fmt.Errorf("ocsserver: %s/%s: %w", read.Bucket, read.Object, err)
+	}
+	fileSchema := r.Schema()
+	outSchema, err := read.OutputSchema()
+	if err != nil {
+		return nil, err
+	}
+	// The plan's base schema must agree with the stored object.
+	if !read.BaseSchema.Equal(fileSchema) {
+		return nil, fmt.Errorf("ocsserver: plan schema %s does not match object schema %s", read.BaseSchema, fileSchema)
+	}
+	cols := read.Projection
+	if cols == nil {
+		cols = make([]int, fileSchema.Len())
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+
+	// Remap the predicate from read-output ordinals to full-schema
+	// ordinals for pruning; skip pruning when the mapping is partial.
+	groups := make([]int, len(r.Meta().RowGroups))
+	for i := range groups {
+		groups[i] = i
+	}
+	if pruneWith != nil {
+		mapping := make(map[int]int, len(cols))
+		for outIdx, fullIdx := range cols {
+			mapping[outIdx] = fullIdx
+		}
+		if remapped, err := expr.Remap(pruneWith, mapping); err == nil {
+			groups = r.PruneRowGroups(remapped)
+		}
+	}
+
+	idx := 0
+	var prevRead, prevDecompressed int64
+	codec := r.Meta().Codec
+	src := exec.NewFuncSource(outSchema, func() (*column.Page, error) {
+		if idx >= len(groups) {
+			return nil, nil
+		}
+		rg := groups[idx]
+		idx++
+		page, err := r.ReadRowGroup(rg, cols)
+		if err != nil {
+			return nil, err
+		}
+		// Merge reader I/O counters incrementally so stats stay correct
+		// even if the pipeline stops early (e.g. under a Limit) and when
+		// several reads share one stats sink.
+		stats.BytesRead += r.BytesRead - prevRead
+		deltaDec := r.BytesDecompressed - prevDecompressed
+		stats.BytesDecompressed += deltaDec
+		// Decompression is CPU spent at whichever node runs this scan.
+		stats.CPUUnits += float64(deltaDec) * compress.DecompressCostPerByte(codec)
+		prevRead, prevDecompressed = r.BytesRead, r.BytesDecompressed
+		return page, nil
+	})
+	_ = meter
+	return src, nil
+}
+
+// ExecuteLocal runs a plan against a local store and returns the result
+// pages plus storage-side work stats. This is the storage node's embedded
+// SQL engine entry point; it is exported for direct (in-process) use by
+// tests and the quickstart example.
+func ExecuteLocal(store *objstore.Store, plan *substrait.Plan) ([]*column.Page, *objstore.WorkStats, error) {
+	if _, err := plan.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var meter exec.Meter
+	var stats objstore.WorkStats
+	op, err := compilePlan(store, plan, &meter, &stats)
+	if err != nil {
+		return nil, nil, err
+	}
+	pages, err := exec.Drain(op)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.RowsProcessed = meter.Rows
+	stats.CPUUnits += meter.Units
+	return pages, &stats, nil
+}

@@ -1,0 +1,194 @@
+package ocsserver
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"prestocs/internal/protowire"
+	"prestocs/internal/rpc"
+	"prestocs/internal/substrait"
+)
+
+// RPC methods exposed by the frontend (application-facing).
+const (
+	MethodExecute = "ocs.Execute"
+	MethodPut     = "ocs.Put"
+	MethodGet     = "ocs.Get"
+	MethodList    = "ocs.List"
+)
+
+// Frontend is the OCS entry point: it accepts Substrait plans, resolves
+// which storage node holds the target object and forwards the plan for
+// in-storage execution; results stream back in Arrow format. It also
+// routes object management (PUT/GET/LIST) so applications see one
+// endpoint, as in the paper's hierarchical design.
+type Frontend struct {
+	rpc   *rpc.Server
+	nodes []*rpc.Client
+
+	mu        sync.RWMutex
+	placement map[string]int // "bucket/key" -> node index
+}
+
+// NewFrontend connects to the given storage-node addresses.
+func NewFrontend(nodeAddrs []string) *Frontend {
+	f := &Frontend{rpc: rpc.NewServer(), placement: make(map[string]int)}
+	for _, addr := range nodeAddrs {
+		f.nodes = append(f.nodes, rpc.Dial(addr))
+	}
+	f.rpc.Register(MethodExecute, f.handleExecute)
+	f.rpc.Register(MethodPut, f.handlePut)
+	f.rpc.Register(MethodGet, f.handleGet)
+	f.rpc.Register(MethodList, f.handleList)
+	return f
+}
+
+// Listen binds the frontend's RPC server.
+func (f *Frontend) Listen(addr string) (string, error) { return f.rpc.Listen(addr) }
+
+// Close shuts down the frontend and its node connections.
+func (f *Frontend) Close() error {
+	for _, n := range f.nodes {
+		n.Close()
+	}
+	return f.rpc.Close()
+}
+
+// NumNodes returns the number of attached storage nodes.
+func (f *Frontend) NumNodes() int { return len(f.nodes) }
+
+func (f *Frontend) nodeFor(bucket, key string) int {
+	f.mu.RLock()
+	idx, ok := f.placement[bucket+"/"+key]
+	f.mu.RUnlock()
+	if ok {
+		return idx
+	}
+	h := fnv.New32a()
+	h.Write([]byte(bucket + "/" + key))
+	return int(h.Sum32()) % len(f.nodes)
+}
+
+func (f *Frontend) recordPlacement(bucket, key string, node int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.placement[bucket+"/"+key] = node
+}
+
+// handleExecute validates the plan, routes it to the node holding the
+// object named by its ReadRel and forwards the response unchanged.
+func (f *Frontend) handleExecute(payload []byte) ([]byte, error) {
+	if len(f.nodes) == 0 {
+		return nil, fmt.Errorf("ocs: frontend has no storage nodes")
+	}
+	plan, err := substrait.Unmarshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("ocs: rejecting plan: %w", err)
+	}
+	var read *substrait.ReadRel
+	substrait.WalkRels(plan.Root, func(r substrait.Rel) {
+		if rd, ok := r.(*substrait.ReadRel); ok {
+			read = rd
+		}
+	})
+	if read == nil {
+		return nil, fmt.Errorf("ocs: plan has no read relation")
+	}
+	node := f.nodeFor(read.Bucket, read.Object)
+	return f.nodes[node].Call(NodeMethodExecute, payload)
+}
+
+func (f *Frontend) handlePut(payload []byte) ([]byte, error) {
+	if len(f.nodes) == 0 {
+		return nil, fmt.Errorf("ocs: frontend has no storage nodes")
+	}
+	bucket, key, err := peekBucketKey(payload)
+	if err != nil {
+		return nil, err
+	}
+	node := f.nodeFor(bucket, key)
+	if _, err := f.nodes[node].Call(NodeMethodPut, payload); err != nil {
+		return nil, err
+	}
+	f.recordPlacement(bucket, key, node)
+	return nil, nil
+}
+
+func (f *Frontend) handleGet(payload []byte) ([]byte, error) {
+	bucket, key, err := peekBucketKey(payload)
+	if err != nil {
+		return nil, err
+	}
+	return f.nodes[f.nodeFor(bucket, key)].Call(NodeMethodGet, payload)
+}
+
+// handleList merges listings from every node.
+func (f *Frontend) handleList(payload []byte) ([]byte, error) {
+	merged := map[string]bool{}
+	for _, n := range f.nodes {
+		resp, err := n.Call(NodeMethodList, payload)
+		if err != nil {
+			return nil, err
+		}
+		d := protowire.NewDecoder(resp)
+		for !d.Done() {
+			field, ty, err := d.Next()
+			if err != nil {
+				return nil, err
+			}
+			if field != 1 {
+				if err := d.Skip(ty); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			k, err := d.String()
+			if err != nil {
+				return nil, err
+			}
+			merged[k] = true
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	// Sorted for determinism.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	e := protowire.NewEncoder()
+	for _, k := range keys {
+		e.String(1, k)
+	}
+	return e.Encoded(), nil
+}
+
+func peekBucketKey(payload []byte) (string, string, error) {
+	d := protowire.NewDecoder(payload)
+	var bucket, key string
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return "", "", err
+		}
+		switch f {
+		case 1:
+			bucket, err = d.String()
+		case 2:
+			key, err = d.String()
+		default:
+			err = d.Skip(ty)
+		}
+		if err != nil {
+			return "", "", err
+		}
+	}
+	if bucket == "" || key == "" {
+		return "", "", fmt.Errorf("ocs: request requires bucket and key")
+	}
+	return bucket, key, nil
+}

@@ -1,0 +1,205 @@
+package ocsserver
+
+import (
+	"fmt"
+
+	"prestocs/internal/arrowlite"
+	"prestocs/internal/objstore"
+	"prestocs/internal/protowire"
+	"prestocs/internal/rpc"
+	"prestocs/internal/substrait"
+)
+
+// RPC methods exposed by a storage node (frontend-facing).
+const (
+	NodeMethodExecute = "ocsnode.Execute"
+	NodeMethodPut     = "ocsnode.Put"
+	NodeMethodGet     = "ocsnode.Get"
+	NodeMethodList    = "ocsnode.List"
+)
+
+// StorageNode holds objects and executes Substrait plans with the
+// embedded SQL engine. In the paper this is the resource-constrained
+// 16-core node; the cost model prices the WorkStats it reports with that
+// profile.
+type StorageNode struct {
+	ID    int
+	store *objstore.Store
+	rpc   *rpc.Server
+}
+
+// NewStorageNode creates a node with an empty store.
+func NewStorageNode(id int) *StorageNode {
+	n := &StorageNode{ID: id, store: objstore.NewStore(), rpc: rpc.NewServer()}
+	n.rpc.Register(NodeMethodExecute, n.handleExecute)
+	n.rpc.Register(NodeMethodPut, n.handlePut)
+	n.rpc.Register(NodeMethodGet, n.handleGet)
+	n.rpc.Register(NodeMethodList, n.handleList)
+	return n
+}
+
+// Store exposes the node's local store (for in-process setup in tests).
+func (n *StorageNode) Store() *objstore.Store { return n.store }
+
+// Listen binds the node's RPC server.
+func (n *StorageNode) Listen(addr string) (string, error) { return n.rpc.Listen(addr) }
+
+// Close shuts the node down.
+func (n *StorageNode) Close() error { return n.rpc.Close() }
+
+// handleExecute parses a Substrait plan, runs it locally and returns an
+// Arrow-encoded result stream plus work stats.
+func (n *StorageNode) handleExecute(payload []byte) ([]byte, error) {
+	plan, err := substrait.Unmarshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("node %d: invalid plan: %w", n.ID, err)
+	}
+	pages, stats, err := ExecuteLocal(n.store, plan)
+	if err != nil {
+		return nil, fmt.Errorf("node %d: %w", n.ID, err)
+	}
+	schema, err := plan.Validate()
+	if err != nil {
+		return nil, err
+	}
+	// Partial aggregation changes the output schema (it is still keys +
+	// one column per measure, same names/kinds for our function set), so
+	// the page schema is authoritative when pages exist.
+	if len(pages) > 0 {
+		schema = pages[0].Schema
+	}
+	arrow, err := arrowlite.Serialize(schema, pages)
+	if err != nil {
+		return nil, err
+	}
+	e := protowire.NewEncoder()
+	e.Bytes(1, arrow)
+	encodeWorkStats(e, 2, *stats)
+	return e.Encoded(), nil
+}
+
+func encodeWorkStats(e *protowire.Encoder, field int, st objstore.WorkStats) {
+	e.Message(field, func(m *protowire.Encoder) {
+		m.Int64(1, st.BytesRead)
+		m.Int64(2, st.BytesDecompressed)
+		m.Double(3, st.CPUUnits)
+		m.Int64(4, st.RowsProcessed)
+	})
+}
+
+func decodeWorkStats(d *protowire.Decoder) (objstore.WorkStats, error) {
+	var st objstore.WorkStats
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return st, err
+		}
+		switch f {
+		case 1:
+			st.BytesRead, err = d.Int64()
+		case 2:
+			st.BytesDecompressed, err = d.Int64()
+		case 3:
+			st.CPUUnits, err = d.Double()
+		case 4:
+			st.RowsProcessed, err = d.Int64()
+		default:
+			err = d.Skip(ty)
+		}
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+func (n *StorageNode) handlePut(payload []byte) ([]byte, error) {
+	d := protowire.NewDecoder(payload)
+	var bucket, key string
+	var data []byte
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case 1:
+			bucket, err = d.String()
+		case 2:
+			key, err = d.String()
+		case 3:
+			data, err = d.Bytes()
+		default:
+			err = d.Skip(ty)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if bucket == "" || key == "" {
+		return nil, fmt.Errorf("node %d: put requires bucket and key", n.ID)
+	}
+	n.store.Put(bucket, key, data)
+	return nil, nil
+}
+
+func (n *StorageNode) handleGet(payload []byte) ([]byte, error) {
+	d := protowire.NewDecoder(payload)
+	var bucket, key string
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case 1:
+			bucket, err = d.String()
+		case 2:
+			key, err = d.String()
+		default:
+			err = d.Skip(ty)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	data, err := n.store.Get(bucket, key)
+	if err != nil {
+		return nil, err
+	}
+	e := protowire.NewEncoder()
+	e.Bytes(1, data)
+	encodeWorkStats(e, 2, objstore.WorkStats{BytesRead: int64(len(data))})
+	return e.Encoded(), nil
+}
+
+func (n *StorageNode) handleList(payload []byte) ([]byte, error) {
+	d := protowire.NewDecoder(payload)
+	var bucket, prefix string
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case 1:
+			bucket, err = d.String()
+		case 2:
+			prefix, err = d.String()
+		default:
+			err = d.Skip(ty)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	keys, err := n.store.List(bucket, prefix)
+	if err != nil {
+		return nil, err
+	}
+	e := protowire.NewEncoder()
+	for _, k := range keys {
+		e.String(1, k)
+	}
+	return e.Encoded(), nil
+}

@@ -1,0 +1,236 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"prestocs/internal/expr"
+	"prestocs/internal/plan"
+	"prestocs/internal/substrait"
+	"prestocs/internal/types"
+)
+
+// stubHandle supports projection so pruneColumns engages.
+type stubHandle struct {
+	schema *types.Schema
+	proj   []int
+}
+
+func (h *stubHandle) ConnectorName() string { return "stub" }
+func (h *stubHandle) String() string        { return "stub" }
+func (h *stubHandle) ScanSchema() *types.Schema {
+	if h.proj == nil {
+		return h.schema
+	}
+	return h.schema.Project(h.proj)
+}
+func (h *stubHandle) WithProjection(cols []int) plan.TableHandle {
+	return &stubHandle{schema: h.schema, proj: cols}
+}
+
+func baseSchema() *types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "a", Type: types.Int64},
+		types.Column{Name: "b", Type: types.Float64},
+		types.Column{Name: "c", Type: types.Float64},
+		types.Column{Name: "g", Type: types.String},
+	)
+}
+
+func scan() *plan.TableScan {
+	return &plan.TableScan{Catalog: "cat", Table: "t", Handle: &stubHandle{schema: baseSchema()}}
+}
+
+func TestFuseSortLimitToTopN(t *testing.T) {
+	pred, _ := expr.NewCompare(expr.Gt, expr.Col(0, "a", types.Int64), expr.Lit(types.IntValue(1)))
+	root := plan.Node(&plan.Output{
+		Input: &plan.Limit{
+			Input: &plan.Sort{
+				Input: &plan.Project{
+					Input:       &plan.Filter{Input: scan(), Condition: pred},
+					Expressions: []expr.Expr{expr.Col(0, "a", types.Int64)},
+					Names:       []string{"a"},
+				},
+				Keys: []plan.SortKey{{Column: 0}},
+			},
+			Count: 7,
+		},
+	})
+	got, err := Optimize(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := plan.Format(got)
+	if !strings.Contains(text, "TopN(PARTIAL)[7]") || !strings.Contains(text, "TopN(FINAL)[7]") {
+		t.Errorf("sort+limit not fused and distributed:\n%s", text)
+	}
+	if strings.Contains(text, "Sort[") || strings.Contains(text, "Limit[") {
+		t.Errorf("sort/limit remain:\n%s", text)
+	}
+}
+
+func TestAggregateSplitsPartialFinal(t *testing.T) {
+	root := plan.Node(&plan.Output{
+		Input: &plan.Aggregate{
+			Input: scan(),
+			Keys:  []int{3},
+			Measures: []substrait.Measure{
+				{Func: substrait.AggSum, Arg: 1, Name: "s"},
+			},
+			Step: plan.AggSingle,
+		},
+	})
+	got, err := Optimize(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := plan.Format(got)
+	if !strings.Contains(text, "Aggregate(PARTIAL)") || !strings.Contains(text, "Aggregate(FINAL)") {
+		t.Errorf("aggregate not split:\n%s", text)
+	}
+	// Exchange sits between them.
+	pIdx := strings.Index(text, "Aggregate(PARTIAL)")
+	fIdx := strings.Index(text, "Aggregate(FINAL)")
+	eIdx := strings.Index(text, "Exchange")
+	if !(fIdx < eIdx && eIdx < pIdx) {
+		t.Errorf("exchange not between final and partial:\n%s", text)
+	}
+	// The final aggregation's keys reference partial output ordinal 0.
+	var finalAgg *plan.Aggregate
+	plan.Walk(got, func(n plan.Node) {
+		if a, ok := n.(*plan.Aggregate); ok && a.Step == plan.AggFinal {
+			finalAgg = a
+		}
+	})
+	if finalAgg == nil || len(finalAgg.Keys) != 1 || finalAgg.Keys[0] != 0 {
+		t.Errorf("final agg keys = %+v", finalAgg)
+	}
+}
+
+func TestLimitReplicates(t *testing.T) {
+	root := plan.Node(&plan.Output{Input: &plan.Limit{Input: scan(), Count: 3}})
+	got, err := Optimize(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := plan.Format(got)
+	if strings.Count(text, "Limit[3]") != 2 {
+		t.Errorf("limit should appear on both sides of the exchange:\n%s", text)
+	}
+}
+
+func TestColumnPruning(t *testing.T) {
+	// SELECT b+1 FROM t WHERE a > 1 — only a and b are needed.
+	pred, _ := expr.NewCompare(expr.Gt, expr.Col(0, "a", types.Int64), expr.Lit(types.IntValue(1)))
+	add, _ := expr.NewArith(expr.Add, expr.Col(1, "b", types.Float64), expr.Lit(types.FloatValue(1)))
+	root := plan.Node(&plan.Output{
+		Input: &plan.Project{
+			Input:       &plan.Filter{Input: scan(), Condition: pred},
+			Expressions: []expr.Expr{add},
+			Names:       []string{"b1"},
+		},
+	})
+	got, err := Optimize(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.FindScan(got)
+	if s.OutputSchema().Len() != 2 {
+		t.Fatalf("scan schema = %s, want 2 columns", s.OutputSchema())
+	}
+	// Remapped filter must still reference "a" at its new ordinal 0.
+	var filter *plan.Filter
+	plan.Walk(got, func(n plan.Node) {
+		if f, ok := n.(*plan.Filter); ok {
+			filter = f
+		}
+	})
+	refs := expr.ReferencedColumns(filter.Condition)
+	if len(refs) != 1 || refs[0] != 0 {
+		t.Errorf("filter refs after pruning = %v", refs)
+	}
+	// Output schema is preserved.
+	if got.OutputSchema().String() != "(b1 DOUBLE)" {
+		t.Errorf("output schema = %s", got.OutputSchema())
+	}
+}
+
+func TestColumnPruningWithAggregate(t *testing.T) {
+	// SELECT g, sum(c) GROUP BY g — needs g and c only.
+	root := plan.Node(&plan.Output{
+		Input: &plan.Aggregate{
+			Input:    scan(),
+			Keys:     []int{3},
+			Measures: []substrait.Measure{{Func: substrait.AggSum, Arg: 2, Name: "s"}},
+			Step:     plan.AggSingle,
+		},
+	})
+	got, err := Optimize(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.FindScan(got)
+	if s.OutputSchema().String() != "(c DOUBLE, g VARCHAR)" {
+		t.Fatalf("pruned scan schema = %s", s.OutputSchema())
+	}
+	var partial *plan.Aggregate
+	plan.Walk(got, func(n plan.Node) {
+		if a, ok := n.(*plan.Aggregate); ok && a.Step == plan.AggPartial {
+			partial = a
+		}
+	})
+	if partial.Keys[0] != 1 || partial.Measures[0].Arg != 0 {
+		t.Errorf("remapped partial agg: keys=%v arg=%d", partial.Keys, partial.Measures[0].Arg)
+	}
+}
+
+func TestNoPruningWithoutRebuilder(t *testing.T) {
+	// SELECT with no project/aggregate (filter only): every column stays
+	// visible, so pruning must not engage. (The analyzer always adds a
+	// Project, so construct this plan manually.)
+	pred, _ := expr.NewCompare(expr.Gt, expr.Col(0, "a", types.Int64), expr.Lit(types.IntValue(1)))
+	root := plan.Node(&plan.Output{Input: &plan.Filter{Input: scan(), Condition: pred}})
+	got, err := Optimize(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.FindScan(got).OutputSchema().Len() != 4 {
+		t.Error("pruning engaged without a schema rebuilder")
+	}
+}
+
+func TestExchangeAlwaysPresent(t *testing.T) {
+	roots := []plan.Node{
+		&plan.Output{Input: scan()},
+		&plan.Output{Input: &plan.Sort{Input: scan(), Keys: []plan.SortKey{{Column: 0}}}},
+	}
+	for _, root := range roots {
+		got, err := Optimize(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		plan.Walk(got, func(n plan.Node) {
+			if _, ok := n.(*plan.Exchange); ok {
+				found = true
+			}
+		})
+		if !found {
+			t.Errorf("no exchange in:\n%s", plan.Format(got))
+		}
+	}
+}
+
+func TestSortStaysFinal(t *testing.T) {
+	root := plan.Node(&plan.Output{Input: &plan.Sort{Input: scan(), Keys: []plan.SortKey{{Column: 0}}}})
+	got, err := Optimize(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := plan.Format(got)
+	sIdx := strings.Index(text, "Sort")
+	eIdx := strings.Index(text, "Exchange")
+	if sIdx < 0 || eIdx < 0 || sIdx > eIdx {
+		t.Errorf("sort must stay above exchange:\n%s", text)
+	}
+}

@@ -1,0 +1,78 @@
+package parquetlite
+
+import (
+	"testing"
+
+	"prestocs/internal/column"
+	"prestocs/internal/compress"
+	"prestocs/internal/expr"
+	"prestocs/internal/types"
+)
+
+func benchPage(rows int) (*types.Schema, *column.Page) {
+	schema := types.NewSchema(
+		types.Column{Name: "id", Type: types.Int64},
+		types.Column{Name: "v", Type: types.Float64},
+		types.Column{Name: "tag", Type: types.String},
+	)
+	p := column.NewPage(schema)
+	for i := 0; i < rows; i++ {
+		p.AppendRow(
+			types.IntValue(int64(i)),
+			types.FloatValue(float64(i)*0.37),
+			types.StringValue([]string{"aa", "bb", "cc"}[i%3]),
+		)
+	}
+	return schema, p
+}
+
+func BenchmarkWrite(b *testing.B) {
+	for _, codec := range compress.Codecs() {
+		codec := codec
+		b.Run(codec.String(), func(b *testing.B) {
+			schema, page := benchPage(10000)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data, err := WritePages(schema, WriterOptions{Codec: codec, RowGroupSize: 2048}, page)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(int64(len(data)))
+			}
+		})
+	}
+}
+
+func BenchmarkReadAll(b *testing.B) {
+	schema, page := benchPage(10000)
+	data, err := WritePages(schema, WriterOptions{Codec: compress.Snappy, RowGroupSize: 2048}, page)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewReader(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.ReadAll([]int{0, 1, 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrunedRead(b *testing.B) {
+	schema, page := benchPage(10000)
+	data, _ := WritePages(schema, WriterOptions{RowGroupSize: 512}, page)
+	pred, _ := expr.NewCompare(expr.Gt, expr.Col(0, "id", types.Int64), expr.Lit(types.IntValue(9000)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, _ := NewReader(data)
+		for _, rg := range r.PruneRowGroups(pred) {
+			if _, err := r.ReadRowGroup(rg, []int{0, 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package parquetlite
+
+import (
+	"encoding/binary"
+	"math"
+
+	"prestocs/internal/column"
+	"prestocs/internal/types"
+)
+
+// This file implements the value encodings for column chunks. Every
+// encoding starts from the same framing: a validity bitmap (LSB-first,
+// 1 = valid) followed by an encoding-specific payload for the valid and
+// invalid slots alike (NULL slots carry the zero value, as in Arrow).
+
+func packValidity(vec *column.Vector) []byte {
+	n := vec.Len()
+	out := make([]byte, (n+7)/8)
+	for i := 0; i < n; i++ {
+		if !vec.IsNull(i) {
+			out[i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+	return out
+}
+
+// chooseEncoding picks an encoding for the vector: dictionary for strings
+// with few distinct values, RLE for integer columns with long runs, plain
+// otherwise.
+func chooseEncoding(vec *column.Vector) Encoding {
+	n := vec.Len()
+	if n == 0 {
+		return Plain
+	}
+	switch vec.Kind {
+	case types.String:
+		distinct := map[string]bool{}
+		for _, s := range vec.Strings {
+			distinct[s] = true
+			if len(distinct) > n/4+1 {
+				return Plain
+			}
+		}
+		return Dict
+	case types.Int64, types.Date:
+		runs := 1
+		for i := 1; i < n; i++ {
+			if vec.Ints[i] != vec.Ints[i-1] {
+				runs++
+			}
+		}
+		if runs*4 <= n {
+			return RLE
+		}
+		return Plain
+	default:
+		return Plain
+	}
+}
+
+// encodeChunk serializes the vector with the chosen encoding; the result
+// is the pre-compression chunk body.
+func encodeChunk(vec *column.Vector, enc Encoding) []byte {
+	n := vec.Len()
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	validity := packValidity(vec)
+	buf = append(buf, validity...)
+
+	switch enc {
+	case Plain:
+		switch vec.Kind {
+		case types.Int64, types.Date:
+			for _, x := range vec.Ints {
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
+			}
+		case types.Float64:
+			for _, x := range vec.Floats {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+			}
+		case types.Bool:
+			bits := make([]byte, (n+7)/8)
+			for i, b := range vec.Bools {
+				if b {
+					bits[i/8] |= 1 << (uint(i) % 8)
+				}
+			}
+			buf = append(buf, bits...)
+		case types.String:
+			off := uint32(0)
+			buf = binary.LittleEndian.AppendUint32(buf, off)
+			for _, s := range vec.Strings {
+				off += uint32(len(s))
+				buf = binary.LittleEndian.AppendUint32(buf, off)
+			}
+			for _, s := range vec.Strings {
+				buf = append(buf, s...)
+			}
+		}
+	case Dict:
+		// Dictionary of distinct strings in first-seen order, then u32
+		// indices per row.
+		index := map[string]uint32{}
+		var dict []string
+		ids := make([]uint32, n)
+		for i, s := range vec.Strings {
+			id, ok := index[s]
+			if !ok {
+				id = uint32(len(dict))
+				index[s] = id
+				dict = append(dict, s)
+			}
+			ids[i] = id
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(dict)))
+		for _, s := range dict {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+			buf = append(buf, s...)
+		}
+		for _, id := range ids {
+			buf = binary.LittleEndian.AppendUint32(buf, id)
+		}
+	case RLE:
+		// (varint runLength, fixed64 value) pairs.
+		i := 0
+		for i < n {
+			j := i + 1
+			for j < n && vec.Ints[j] == vec.Ints[i] {
+				j++
+			}
+			buf = binary.AppendUvarint(buf, uint64(j-i))
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(vec.Ints[i]))
+			i = j
+		}
+	}
+	return buf
+}
+
+// decodeChunk reverses encodeChunk.
+func decodeChunk(data []byte, kind types.Kind, enc Encoding) (*column.Vector, error) {
+	if len(data) < 4 {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	vb := (n + 7) / 8
+	if len(data) < vb {
+		return nil, ErrCorrupt
+	}
+	validity := data[:vb]
+	data = data[vb:]
+	valid := func(i int) bool { return validity[i/8]&(1<<(uint(i)%8)) != 0 }
+
+	vec := column.NewVector(kind)
+	appendVal := func(i int, v types.Value) {
+		if valid(i) {
+			vec.Append(v)
+		} else {
+			vec.Append(types.NullValue(kind))
+		}
+	}
+
+	switch enc {
+	case Plain:
+		switch kind {
+		case types.Int64, types.Date:
+			if len(data) < 8*n {
+				return nil, ErrCorrupt
+			}
+			for i := 0; i < n; i++ {
+				appendVal(i, types.Value{Kind: kind, I: int64(binary.LittleEndian.Uint64(data[8*i:]))})
+			}
+		case types.Float64:
+			if len(data) < 8*n {
+				return nil, ErrCorrupt
+			}
+			for i := 0; i < n; i++ {
+				appendVal(i, types.FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))))
+			}
+		case types.Bool:
+			if len(data) < (n+7)/8 {
+				return nil, ErrCorrupt
+			}
+			for i := 0; i < n; i++ {
+				appendVal(i, types.BoolValue(data[i/8]&(1<<(uint(i)%8)) != 0))
+			}
+		case types.String:
+			need := 4 * (n + 1)
+			if len(data) < need {
+				return nil, ErrCorrupt
+			}
+			offsets := make([]uint32, n+1)
+			for i := range offsets {
+				offsets[i] = binary.LittleEndian.Uint32(data[4*i:])
+			}
+			body := data[need:]
+			if int(offsets[n]) > len(body) {
+				return nil, ErrCorrupt
+			}
+			for i := 0; i < n; i++ {
+				if offsets[i] > offsets[i+1] {
+					return nil, ErrCorrupt
+				}
+				appendVal(i, types.StringValue(string(body[offsets[i]:offsets[i+1]])))
+			}
+		default:
+			return nil, ErrCorrupt
+		}
+	case Dict:
+		if kind != types.String {
+			return nil, ErrCorrupt
+		}
+		if len(data) < 4 {
+			return nil, ErrCorrupt
+		}
+		dictLen := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		dict := make([]string, dictLen)
+		for i := range dict {
+			if len(data) < 4 {
+				return nil, ErrCorrupt
+			}
+			sl := int(binary.LittleEndian.Uint32(data))
+			data = data[4:]
+			if len(data) < sl {
+				return nil, ErrCorrupt
+			}
+			dict[i] = string(data[:sl])
+			data = data[sl:]
+		}
+		if len(data) < 4*n {
+			return nil, ErrCorrupt
+		}
+		for i := 0; i < n; i++ {
+			id := binary.LittleEndian.Uint32(data[4*i:])
+			if int(id) >= dictLen {
+				return nil, ErrCorrupt
+			}
+			appendVal(i, types.StringValue(dict[id]))
+		}
+	case RLE:
+		if kind != types.Int64 && kind != types.Date {
+			return nil, ErrCorrupt
+		}
+		i := 0
+		for i < n {
+			run, sz := binary.Uvarint(data)
+			if sz <= 0 {
+				return nil, ErrCorrupt
+			}
+			data = data[sz:]
+			if len(data) < 8 {
+				return nil, ErrCorrupt
+			}
+			v := int64(binary.LittleEndian.Uint64(data))
+			data = data[8:]
+			if run == 0 || i+int(run) > n {
+				return nil, ErrCorrupt
+			}
+			for k := 0; k < int(run); k++ {
+				appendVal(i+k, types.Value{Kind: kind, I: v})
+			}
+			i += int(run)
+		}
+	default:
+		return nil, ErrCorrupt
+	}
+	return vec, nil
+}
+
+// computeStats scans the vector for chunk statistics.
+func computeStats(vec *column.Vector) Stats {
+	st := Stats{
+		Min:       types.NullValue(vec.Kind),
+		Max:       types.NullValue(vec.Kind),
+		NumValues: int64(vec.Len()),
+	}
+	for i := 0; i < vec.Len(); i++ {
+		v := vec.Value(i)
+		if v.Null {
+			st.NullCount++
+			continue
+		}
+		if st.Min.Null || types.Compare(v, st.Min) < 0 {
+			st.Min = v
+		}
+		if st.Max.Null || types.Compare(v, st.Max) > 0 {
+			st.Max = v
+		}
+	}
+	return st
+}

@@ -1,0 +1,252 @@
+package parquetlite
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"prestocs/internal/column"
+	"prestocs/internal/compress"
+	"prestocs/internal/expr"
+	"prestocs/internal/types"
+)
+
+// Reader provides random access to a parquetlite file image: footer
+// metadata, selective column-chunk reads and row-group pruning. It also
+// meters the bytes it touches (compressed reads and decompressed output)
+// so the cost model can price storage I/O and decompression.
+type Reader struct {
+	data []byte
+	meta *FileMeta
+
+	// BytesRead accumulates compressed chunk bytes actually read.
+	BytesRead int64
+	// BytesDecompressed accumulates post-decompression chunk bytes.
+	BytesDecompressed int64
+}
+
+// NewReader parses the footer of a file image.
+func NewReader(data []byte) (*Reader, error) {
+	tail := len(Magic) + 4
+	if len(data) < len(Magic)+tail {
+		return nil, ErrCorrupt
+	}
+	if string(data[:len(Magic)]) != string(Magic) ||
+		string(data[len(data)-len(Magic):]) != string(Magic) {
+		return nil, ErrCorrupt
+	}
+	footerLen := int(binary.LittleEndian.Uint32(data[len(data)-tail:]))
+	footerEnd := len(data) - tail
+	footerStart := footerEnd - footerLen
+	if footerStart < len(Magic) {
+		return nil, ErrCorrupt
+	}
+	meta, err := decodeFooter(data[footerStart:footerEnd])
+	if err != nil {
+		return nil, fmt.Errorf("parquetlite: decoding footer: %w", err)
+	}
+	for _, rg := range meta.RowGroups {
+		if len(rg.Chunks) != meta.Schema.Len() {
+			return nil, ErrCorrupt
+		}
+		for _, ch := range rg.Chunks {
+			if ch.Offset < int64(len(Magic)) || ch.Offset+ch.CompressedSize > int64(footerStart) {
+				return nil, ErrCorrupt
+			}
+		}
+	}
+	return &Reader{data: data, meta: meta}, nil
+}
+
+// Meta returns the decoded footer.
+func (r *Reader) Meta() *FileMeta { return r.meta }
+
+// Schema returns the file schema.
+func (r *Reader) Schema() *types.Schema { return r.meta.Schema }
+
+// NumRows returns the total row count.
+func (r *Reader) NumRows() int64 { return r.meta.NumRows }
+
+// ReadColumn decompresses and decodes one column chunk.
+func (r *Reader) ReadColumn(rowGroup, col int) (*column.Vector, error) {
+	if rowGroup < 0 || rowGroup >= len(r.meta.RowGroups) {
+		return nil, fmt.Errorf("parquetlite: row group %d out of range", rowGroup)
+	}
+	rg := r.meta.RowGroups[rowGroup]
+	if col < 0 || col >= len(rg.Chunks) {
+		return nil, fmt.Errorf("parquetlite: column %d out of range", col)
+	}
+	ch := rg.Chunks[col]
+	comp := r.data[ch.Offset : ch.Offset+ch.CompressedSize]
+	r.BytesRead += ch.CompressedSize
+	raw, err := compress.Decode(r.meta.Codec, comp)
+	if err != nil {
+		return nil, fmt.Errorf("parquetlite: chunk rg=%d col=%d: %w", rowGroup, col, err)
+	}
+	r.BytesDecompressed += int64(len(raw))
+	vec, err := decodeChunk(raw, r.meta.Schema.Columns[col].Type, ch.Encoding)
+	if err != nil {
+		return nil, fmt.Errorf("parquetlite: chunk rg=%d col=%d: %w", rowGroup, col, err)
+	}
+	if int64(vec.Len()) != rg.NumRows {
+		return nil, ErrCorrupt
+	}
+	return vec, nil
+}
+
+// ReadRowGroup materializes the given columns of one row group as a page.
+// cols is a list of schema ordinals; the resulting page's schema is the
+// projection in that order.
+func (r *Reader) ReadRowGroup(rowGroup int, cols []int) (*column.Page, error) {
+	schema := r.meta.Schema.Project(cols)
+	page := &column.Page{Schema: schema, Vectors: make([]*column.Vector, len(cols))}
+	for i, c := range cols {
+		vec, err := r.ReadColumn(rowGroup, c)
+		if err != nil {
+			return nil, err
+		}
+		page.Vectors[i] = vec
+	}
+	return page, nil
+}
+
+// ReadAll materializes the given columns of every row group.
+func (r *Reader) ReadAll(cols []int) ([]*column.Page, error) {
+	pages := make([]*column.Page, 0, len(r.meta.RowGroups))
+	for rg := range r.meta.RowGroups {
+		p, err := r.ReadRowGroup(rg, cols)
+		if err != nil {
+			return nil, err
+		}
+		pages = append(pages, p)
+	}
+	return pages, nil
+}
+
+// PruneRowGroups returns the row groups that may contain rows matching
+// the predicate, using chunk min/max statistics. A nil predicate keeps
+// everything. Only conjunctions of comparisons and BETWEENs over a single
+// column are used for pruning; any other conjunct is ignored
+// (conservative).
+func (r *Reader) PruneRowGroups(pred expr.Expr) []int {
+	keep := make([]int, 0, len(r.meta.RowGroups))
+	for i := range r.meta.RowGroups {
+		if pred == nil || r.rowGroupMayMatch(i, pred) {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}
+
+func (r *Reader) rowGroupMayMatch(rg int, pred expr.Expr) bool {
+	for _, conj := range expr.Conjuncts(pred) {
+		if !r.conjunctMayMatch(rg, conj) {
+			return false
+		}
+	}
+	return true
+}
+
+// conjunctMayMatch evaluates one conjunct against chunk stats. It returns
+// true unless the stats prove no row can match.
+func (r *Reader) conjunctMayMatch(rg int, e expr.Expr) bool {
+	switch t := e.(type) {
+	case *expr.Between:
+		col, ok := t.E.(*expr.ColumnRef)
+		if !ok {
+			return true
+		}
+		lo, okLo := t.Lo.(*expr.Literal)
+		hi, okHi := t.Hi.(*expr.Literal)
+		if !okLo || !okHi {
+			return true
+		}
+		st := r.chunkStats(rg, col.Index)
+		if st == nil || st.Min.Null {
+			return true
+		}
+		// No overlap when max < lo or min > hi.
+		return !(types.Compare(st.Max, lo.Value) < 0 || types.Compare(st.Min, hi.Value) > 0)
+	case *expr.Compare:
+		col, okCol := t.L.(*expr.ColumnRef)
+		lit, okLit := t.R.(*expr.Literal)
+		op := t.Op
+		if !okCol || !okLit {
+			// Try the mirrored form literal OP column.
+			col, okCol = t.R.(*expr.ColumnRef)
+			lit, okLit = t.L.(*expr.Literal)
+			if !okCol || !okLit {
+				return true
+			}
+			op = mirror(op)
+		}
+		st := r.chunkStats(rg, col.Index)
+		if st == nil || st.Min.Null || lit.Value.Null {
+			return true
+		}
+		switch op {
+		case expr.Eq:
+			return types.Compare(lit.Value, st.Min) >= 0 && types.Compare(lit.Value, st.Max) <= 0
+		case expr.Lt:
+			return types.Compare(st.Min, lit.Value) < 0
+		case expr.Le:
+			return types.Compare(st.Min, lit.Value) <= 0
+		case expr.Gt:
+			return types.Compare(st.Max, lit.Value) > 0
+		case expr.Ge:
+			return types.Compare(st.Max, lit.Value) >= 0
+		default:
+			return true // Ne never prunes
+		}
+	default:
+		return true
+	}
+}
+
+// mirror flips an operator across its operands: lit OP col == col mirror(OP) lit.
+func mirror(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.Lt:
+		return expr.Gt
+	case expr.Le:
+		return expr.Ge
+	case expr.Gt:
+		return expr.Lt
+	case expr.Ge:
+		return expr.Le
+	default:
+		return op
+	}
+}
+
+func (r *Reader) chunkStats(rg, col int) *Stats {
+	if rg < 0 || rg >= len(r.meta.RowGroups) {
+		return nil
+	}
+	chunks := r.meta.RowGroups[rg].Chunks
+	if col < 0 || col >= len(chunks) {
+		return nil
+	}
+	return &chunks[col].Stats
+}
+
+// ColumnStats aggregates chunk statistics across all row groups for one
+// column: global min/max, null count and value count. Used when
+// registering tables in the metastore.
+func (r *Reader) ColumnStats(col int) Stats {
+	agg := Stats{
+		Min: types.NullValue(r.meta.Schema.Columns[col].Type),
+		Max: types.NullValue(r.meta.Schema.Columns[col].Type),
+	}
+	for rg := range r.meta.RowGroups {
+		st := r.chunkStats(rg, col)
+		agg.NullCount += st.NullCount
+		agg.NumValues += st.NumValues
+		if !st.Min.Null && (agg.Min.Null || types.Compare(st.Min, agg.Min) < 0) {
+			agg.Min = st.Min
+		}
+		if !st.Max.Null && (agg.Max.Null || types.Compare(st.Max, agg.Max) > 0) {
+			agg.Max = st.Max
+		}
+	}
+	return agg
+}

@@ -1,0 +1,119 @@
+package parquetlite
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"prestocs/internal/column"
+	"prestocs/internal/compress"
+	"prestocs/internal/types"
+)
+
+// WriterOptions configures file writing.
+type WriterOptions struct {
+	// Codec compresses every column chunk. Default None.
+	Codec compress.Codec
+	// RowGroupSize caps rows per row group. Default 65536.
+	RowGroupSize int
+}
+
+// Writer accumulates rows and produces a parquetlite file image.
+type Writer struct {
+	schema  *types.Schema
+	opts    WriterOptions
+	buf     []byte
+	pending *column.Page
+	meta    FileMeta
+}
+
+// NewWriter starts a file with the given schema.
+func NewWriter(schema *types.Schema, opts WriterOptions) *Writer {
+	if opts.RowGroupSize <= 0 {
+		opts.RowGroupSize = 65536
+	}
+	w := &Writer{
+		schema:  schema,
+		opts:    opts,
+		pending: column.NewPage(schema),
+		meta:    FileMeta{Schema: schema, Codec: opts.Codec},
+	}
+	w.buf = append(w.buf, Magic...)
+	return w
+}
+
+// WriteRow buffers one row.
+func (w *Writer) WriteRow(vals ...types.Value) error {
+	if len(vals) != w.schema.Len() {
+		return fmt.Errorf("parquetlite: row has %d values, schema has %d columns", len(vals), w.schema.Len())
+	}
+	w.pending.AppendRow(vals...)
+	if w.pending.NumRows() >= w.opts.RowGroupSize {
+		return w.flushGroup()
+	}
+	return nil
+}
+
+// WritePage buffers all rows of a page (schema must match by arity/kind).
+func (w *Writer) WritePage(p *column.Page) error {
+	for i := 0; i < p.NumRows(); i++ {
+		if err := w.WriteRow(p.Row(i)...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Writer) flushGroup() error {
+	n := w.pending.NumRows()
+	if n == 0 {
+		return nil
+	}
+	rg := RowGroupMeta{NumRows: int64(n)}
+	for _, vec := range w.pending.Vectors {
+		enc := chooseEncoding(vec)
+		raw := encodeChunk(vec, enc)
+		comp, err := compress.Encode(w.opts.Codec, raw)
+		if err != nil {
+			return err
+		}
+		rg.Chunks = append(rg.Chunks, ChunkMeta{
+			Offset:           int64(len(w.buf)),
+			CompressedSize:   int64(len(comp)),
+			UncompressedSize: int64(len(raw)),
+			Encoding:         enc,
+			Stats:            computeStats(vec),
+		})
+		w.buf = append(w.buf, comp...)
+	}
+	w.meta.RowGroups = append(w.meta.RowGroups, rg)
+	w.meta.NumRows += int64(n)
+	w.pending = column.NewPage(w.schema)
+	return nil
+}
+
+// Finish flushes pending rows, appends the footer and returns the
+// complete file image. The writer must not be reused afterwards.
+func (w *Writer) Finish() ([]byte, error) {
+	if err := w.flushGroup(); err != nil {
+		return nil, err
+	}
+	footer, err := encodeFooter(&w.meta)
+	if err != nil {
+		return nil, err
+	}
+	w.buf = append(w.buf, footer...)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(len(footer)))
+	w.buf = append(w.buf, Magic...)
+	return w.buf, nil
+}
+
+// WritePages is a convenience helper producing a complete file from pages.
+func WritePages(schema *types.Schema, opts WriterOptions, pages ...*column.Page) ([]byte, error) {
+	w := NewWriter(schema, opts)
+	for _, p := range pages {
+		if err := w.WritePage(p); err != nil {
+			return nil, err
+		}
+	}
+	return w.Finish()
+}

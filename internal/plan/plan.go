@@ -1,0 +1,336 @@
+// Package plan defines the engine's logical plan tree, mirroring Presto's
+// PlanNode hierarchy for the operators this system supports: TableScan,
+// Filter, Project, Aggregate (single/partial/final), Sort, TopN, Limit
+// and Output, plus the Exchange marker separating the distributed leaf
+// stage (per split, on workers) from the final stage (on the
+// coordinator). Connector plan optimizers rewrite this tree during the
+// local-optimization phase, absorbing pushdown-eligible nodes into the
+// TableScan's connector handle.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"prestocs/internal/exec"
+	"prestocs/internal/expr"
+	"prestocs/internal/substrait"
+	"prestocs/internal/types"
+)
+
+// TableHandle is the connector-owned, opaque description of a scan. The
+// OCS connector stores its pushdown spec here (like Presto's
+// ConnectorTableHandle).
+type TableHandle interface {
+	fmt.Stringer
+	// ConnectorName identifies the owning connector.
+	ConnectorName() string
+	// ScanSchema is the schema the scan produces, which pushdown can
+	// change (e.g. partial-aggregate columns).
+	ScanSchema() *types.Schema
+}
+
+// ProjectableHandle is implemented by handles that can restrict the scan
+// to a subset of columns (selective column retrieval). WithProjection
+// returns a new handle whose ScanSchema is the base schema projected to
+// cols (base-schema ordinals, ascending).
+type ProjectableHandle interface {
+	TableHandle
+	WithProjection(cols []int) TableHandle
+}
+
+// Node is a logical plan node.
+type Node interface {
+	// OutputSchema is the node's result schema.
+	OutputSchema() *types.Schema
+	// Children returns input nodes (len 0 or 1 in this engine).
+	Children() []Node
+	// Describe renders a one-line summary.
+	Describe() string
+}
+
+// TableScan reads from a connector.
+type TableScan struct {
+	Catalog string
+	Table   string
+	Handle  TableHandle
+}
+
+// OutputSchema implements Node.
+func (n *TableScan) OutputSchema() *types.Schema { return n.Handle.ScanSchema() }
+
+// Children implements Node.
+func (n *TableScan) Children() []Node { return nil }
+
+// Describe implements Node.
+func (n *TableScan) Describe() string {
+	return fmt.Sprintf("TableScan[%s.%s, %s]", n.Catalog, n.Table, n.Handle)
+}
+
+// Filter keeps rows matching Condition.
+type Filter struct {
+	Input     Node
+	Condition expr.Expr
+}
+
+// OutputSchema implements Node.
+func (n *Filter) OutputSchema() *types.Schema { return n.Input.OutputSchema() }
+
+// Children implements Node.
+func (n *Filter) Children() []Node { return []Node{n.Input} }
+
+// Describe implements Node.
+func (n *Filter) Describe() string { return "Filter[" + n.Condition.String() + "]" }
+
+// Project computes expressions.
+type Project struct {
+	Input       Node
+	Expressions []expr.Expr
+	Names       []string
+}
+
+// OutputSchema implements Node.
+func (n *Project) OutputSchema() *types.Schema {
+	cols := make([]types.Column, len(n.Expressions))
+	for i, e := range n.Expressions {
+		cols[i] = types.Column{Name: n.Names[i], Type: e.Type()}
+	}
+	return types.NewSchema(cols...)
+}
+
+// Children implements Node.
+func (n *Project) Children() []Node { return []Node{n.Input} }
+
+// Describe implements Node.
+func (n *Project) Describe() string { return "Project[" + expr.Format(n.Expressions) + "]" }
+
+// AggStep mirrors Presto's aggregation steps.
+type AggStep uint8
+
+const (
+	// AggSingle computes complete aggregates in one pass.
+	AggSingle AggStep = iota
+	// AggPartial emits mergeable partial states (leaf stage).
+	AggPartial
+	// AggFinal merges partial states (final stage).
+	AggFinal
+)
+
+func (s AggStep) String() string {
+	return [...]string{"SINGLE", "PARTIAL", "FINAL"}[s]
+}
+
+// Aggregate groups by key ordinals and computes measures. Output schema
+// is keys then measures (matching exec.HashAggregate).
+type Aggregate struct {
+	Input    Node
+	Keys     []int
+	Measures []substrait.Measure
+	Step     AggStep
+}
+
+// OutputSchema implements Node.
+func (n *Aggregate) OutputSchema() *types.Schema {
+	in := n.Input.OutputSchema()
+	var cols []types.Column
+	for _, k := range n.Keys {
+		cols = append(cols, in.Columns[k])
+	}
+	for i, m := range n.Measures {
+		inKind := types.Int64
+		if n.Step == AggFinal {
+			inKind = in.Columns[len(n.Keys)+i].Type
+		} else if m.Func != substrait.AggCountStar {
+			inKind = in.Columns[m.Arg].Type
+		}
+		outKind, err := m.Func.ResultKind(inKind)
+		if err != nil {
+			outKind = types.Unknown
+		}
+		cols = append(cols, types.Column{Name: m.Name, Type: outKind})
+	}
+	return types.NewSchema(cols...)
+}
+
+// Children implements Node.
+func (n *Aggregate) Children() []Node { return []Node{n.Input} }
+
+// Describe implements Node.
+func (n *Aggregate) Describe() string {
+	parts := make([]string, len(n.Measures))
+	for i, m := range n.Measures {
+		parts[i] = string(m.Func)
+	}
+	return fmt.Sprintf("Aggregate(%s)[keys=%d, %s]", n.Step, len(n.Keys), strings.Join(parts, ","))
+}
+
+// SortKey orders by an output ordinal.
+type SortKey struct {
+	Column     int
+	Descending bool
+}
+
+// Sort fully orders the input.
+type Sort struct {
+	Input Node
+	Keys  []SortKey
+}
+
+// OutputSchema implements Node.
+func (n *Sort) OutputSchema() *types.Schema { return n.Input.OutputSchema() }
+
+// Children implements Node.
+func (n *Sort) Children() []Node { return []Node{n.Input} }
+
+// Describe implements Node.
+func (n *Sort) Describe() string { return fmt.Sprintf("Sort[%d keys]", len(n.Keys)) }
+
+// TopN is Sort+Limit fused.
+type TopN struct {
+	Input Node
+	Keys  []SortKey
+	Count int64
+	// Partial marks the leaf-stage local top-N; the final stage re-runs
+	// a full TopN over the union (always sound, see DESIGN.md §4).
+	Partial bool
+}
+
+// OutputSchema implements Node.
+func (n *TopN) OutputSchema() *types.Schema { return n.Input.OutputSchema() }
+
+// Children implements Node.
+func (n *TopN) Children() []Node { return []Node{n.Input} }
+
+// Describe implements Node.
+func (n *TopN) Describe() string {
+	phase := "FINAL"
+	if n.Partial {
+		phase = "PARTIAL"
+	}
+	return fmt.Sprintf("TopN(%s)[%d]", phase, n.Count)
+}
+
+// Limit truncates output.
+type Limit struct {
+	Input Node
+	Count int64
+}
+
+// OutputSchema implements Node.
+func (n *Limit) OutputSchema() *types.Schema { return n.Input.OutputSchema() }
+
+// Children implements Node.
+func (n *Limit) Children() []Node { return []Node{n.Input} }
+
+// Describe implements Node.
+func (n *Limit) Describe() string { return fmt.Sprintf("Limit[%d]", n.Count) }
+
+// Exchange marks the leaf/final stage boundary: everything below runs per
+// split on workers, everything above runs once on the coordinator.
+type Exchange struct {
+	Input Node
+}
+
+// OutputSchema implements Node.
+func (n *Exchange) OutputSchema() *types.Schema { return n.Input.OutputSchema() }
+
+// Children implements Node.
+func (n *Exchange) Children() []Node { return []Node{n.Input} }
+
+// Describe implements Node.
+func (n *Exchange) Describe() string { return "Exchange" }
+
+// Output names the final result columns.
+type Output struct {
+	Input Node
+	Names []string
+}
+
+// OutputSchema implements Node.
+func (n *Output) OutputSchema() *types.Schema {
+	in := n.Input.OutputSchema()
+	cols := make([]types.Column, in.Len())
+	for i, c := range in.Columns {
+		name := c.Name
+		if i < len(n.Names) && n.Names[i] != "" {
+			name = n.Names[i]
+		}
+		cols[i] = types.Column{Name: name, Type: c.Type}
+	}
+	return types.NewSchema(cols...)
+}
+
+// Children implements Node.
+func (n *Output) Children() []Node { return []Node{n.Input} }
+
+// Describe implements Node.
+func (n *Output) Describe() string { return "Output[" + strings.Join(n.Names, ", ") + "]" }
+
+// Format renders the tree indented, scan at the deepest level — the shape
+// Presto's EXPLAIN prints.
+func Format(root Node) string {
+	var sb strings.Builder
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString("- " + n.Describe() + "\n")
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return sb.String()
+}
+
+// Walk visits nodes top-down.
+func Walk(n Node, fn func(Node)) {
+	fn(n)
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+}
+
+// FindScan returns the unique TableScan of the tree (nil when absent).
+func FindScan(root Node) *TableScan {
+	var scan *TableScan
+	Walk(root, func(n Node) {
+		if s, ok := n.(*TableScan); ok {
+			scan = s
+		}
+	})
+	return scan
+}
+
+// ReplaceChild returns a structural copy of parent with its single input
+// replaced. It is the primitive connector optimizers use to rewrite trees.
+func ReplaceChild(parent Node, newChild Node) (Node, error) {
+	switch t := parent.(type) {
+	case *Filter:
+		return &Filter{Input: newChild, Condition: t.Condition}, nil
+	case *Project:
+		return &Project{Input: newChild, Expressions: t.Expressions, Names: t.Names}, nil
+	case *Aggregate:
+		return &Aggregate{Input: newChild, Keys: t.Keys, Measures: t.Measures, Step: t.Step}, nil
+	case *Sort:
+		return &Sort{Input: newChild, Keys: t.Keys}, nil
+	case *TopN:
+		return &TopN{Input: newChild, Keys: t.Keys, Count: t.Count, Partial: t.Partial}, nil
+	case *Limit:
+		return &Limit{Input: newChild, Count: t.Count}, nil
+	case *Exchange:
+		return &Exchange{Input: newChild}, nil
+	case *Output:
+		return &Output{Input: newChild, Names: t.Names}, nil
+	default:
+		return nil, fmt.Errorf("plan: cannot replace child of %T", parent)
+	}
+}
+
+// SortSpecs converts plan sort keys to exec sort specs.
+func SortSpecs(keys []SortKey) []exec.SortSpec {
+	out := make([]exec.SortSpec, len(keys))
+	for i, k := range keys {
+		out[i] = exec.SortSpec{Column: k.Column, Descending: k.Descending}
+	}
+	return out
+}

@@ -1,0 +1,322 @@
+// Package rpc implements the framed TCP RPC transport that stands in for
+// gRPC (see DESIGN.md §2). A server registers named methods; a client
+// dials and issues unary calls. Every frame that crosses the wire is
+// metered, which is how the experiment harness measures data movement
+// between the compute and storage layers.
+//
+// Frame layout (little-endian):
+//
+//	u32 frameLen | u8 kind | u32 methodLen | method | payload
+//
+// kind 0 = request, 1 = response-ok, 2 = response-error (payload is the
+// error message). Responses echo an empty method name. A single TCP
+// connection carries sequential calls; the client pools connections for
+// concurrency.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	frameRequest  = 0
+	frameOK       = 1
+	frameError    = 2
+	maxFrameBytes = 1 << 30
+)
+
+// ErrShutdown reports use of a closed client or server.
+var ErrShutdown = errors.New("rpc: connection shut down")
+
+// RemoteError wraps an error string returned by the server.
+type RemoteError struct {
+	Method  string
+	Message string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote error from %s: %s", e.Method, e.Message)
+}
+
+// Handler processes one request payload and returns the response payload.
+type Handler func(payload []byte) ([]byte, error)
+
+// Meter accumulates transport byte counts. Both client and server update
+// their own meters; the harness reads the client side as "data movement".
+type Meter struct {
+	sent, received atomic.Int64
+	calls          atomic.Int64
+}
+
+// Sent returns total payload bytes sent.
+func (m *Meter) Sent() int64 { return m.sent.Load() }
+
+// Received returns total payload bytes received.
+func (m *Meter) Received() int64 { return m.received.Load() }
+
+// Calls returns the number of completed calls.
+func (m *Meter) Calls() int64 { return m.calls.Load() }
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() {
+	m.sent.Store(0)
+	m.received.Store(0)
+	m.calls.Store(0)
+}
+
+func writeFrame(w io.Writer, kind byte, method string, payload []byte) (int64, error) {
+	frameLen := 1 + 4 + len(method) + len(payload)
+	hdr := make([]byte, 0, 9+len(method))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(frameLen))
+	hdr = append(hdr, kind)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(method)))
+	hdr = append(hdr, method...)
+	if _, err := w.Write(hdr); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return int64(4 + frameLen), nil
+}
+
+func readFrame(r io.Reader) (kind byte, method string, payload []byte, total int64, err error) {
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, "", nil, 0, err
+	}
+	frameLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if frameLen < 5 || frameLen > maxFrameBytes {
+		return 0, "", nil, 0, fmt.Errorf("rpc: bad frame length %d", frameLen)
+	}
+	body := make([]byte, frameLen)
+	if _, err = io.ReadFull(r, body); err != nil {
+		return 0, "", nil, 0, err
+	}
+	kind = body[0]
+	mLen := binary.LittleEndian.Uint32(body[1:5])
+	if 5+mLen > frameLen {
+		return 0, "", nil, 0, fmt.Errorf("rpc: bad method length %d", mLen)
+	}
+	method = string(body[5 : 5+mLen])
+	payload = body[5+mLen:]
+	return kind, method, payload, int64(4 + frameLen), nil
+}
+
+// Server dispatches incoming calls to registered handlers.
+type Server struct {
+	Meter Meter
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+
+	connMu sync.Mutex
+	conns  map[net.Conn]bool
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]bool)}
+}
+
+func (s *Server) trackConn(conn net.Conn, add bool) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if add {
+		if s.closed.Load() {
+			return false
+		}
+		s.conns[conn] = true
+		return true
+	}
+	delete(s.conns, conn)
+	return true
+}
+
+// Register installs a handler for a method name. Registering after Serve
+// has started is safe.
+func (s *Server) Register(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Listen binds to addr ("127.0.0.1:0" for an ephemeral port) and starts
+// serving in background goroutines. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	if !s.trackConn(conn, true) {
+		return // server already closed
+	}
+	defer s.trackConn(conn, false)
+	for {
+		kind, method, payload, n, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		s.Meter.received.Add(n)
+		if kind != frameRequest {
+			return
+		}
+		s.mu.RLock()
+		h, ok := s.handlers[method]
+		s.mu.RUnlock()
+		var respKind byte
+		var resp []byte
+		if !ok {
+			respKind = frameError
+			resp = []byte(fmt.Sprintf("unknown method %q", method))
+		} else if out, herr := h(payload); herr != nil {
+			respKind = frameError
+			resp = []byte(herr.Error())
+		} else {
+			respKind = frameOK
+			resp = out
+		}
+		sent, err := writeFrame(conn, respKind, "", resp)
+		if err != nil {
+			return
+		}
+		s.Meter.sent.Add(sent)
+		s.Meter.calls.Add(1)
+	}
+}
+
+// Close stops the listener, tears down open connections (including idle
+// pooled ones that would otherwise block in a read forever) and waits
+// for serving goroutines to exit.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.connMu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Client issues unary calls to one server, pooling TCP connections.
+type Client struct {
+	Meter Meter
+
+	addr   string
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// Dial creates a client for the server at addr. Connections are created
+// lazily.
+func Dial(addr string) *Client {
+	return &Client{addr: addr}
+}
+
+func (c *Client) getConn() (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	return net.Dial("tcp", c.addr)
+}
+
+func (c *Client) putConn(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+}
+
+// Call performs one unary RPC.
+func (c *Client) Call(method string, payload []byte) ([]byte, error) {
+	conn, err := c.getConn()
+	if err != nil {
+		return nil, err
+	}
+	sent, err := writeFrame(conn, frameRequest, method, payload)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rpc: sending %s: %w", method, err)
+	}
+	c.Meter.sent.Add(sent)
+	kind, _, resp, n, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rpc: receiving %s response: %w", method, err)
+	}
+	c.Meter.received.Add(n)
+	c.Meter.calls.Add(1)
+	c.putConn(conn)
+	switch kind {
+	case frameOK:
+		return resp, nil
+	case frameError:
+		return nil, &RemoteError{Method: method, Message: string(resp)}
+	default:
+		return nil, fmt.Errorf("rpc: unexpected frame kind %d", kind)
+	}
+}
+
+// Close tears down pooled connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+	return nil
+}

@@ -1,0 +1,217 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SelectStmt is the parsed form of a SELECT query.
+type SelectStmt struct {
+	Items   []SelectItem
+	From    TableName
+	Where   Node
+	GroupBy []Node
+	OrderBy []OrderItem
+	// Limit is -1 when absent.
+	Limit int64
+}
+
+// SelectItem is one projection with an optional alias.
+type SelectItem struct {
+	Expr  Node
+	Alias string
+}
+
+// TableName is schema-qualified ("hive.lineitem") or bare.
+type TableName struct {
+	Schema string
+	Table  string
+}
+
+func (t TableName) String() string {
+	if t.Schema == "" {
+		return t.Table
+	}
+	return t.Schema + "." + t.Table
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Node
+	Desc bool
+}
+
+// Node is an unresolved AST expression.
+type Node interface {
+	fmt.Stringer
+	isNode()
+}
+
+// Ident references a column by name.
+type Ident struct{ Name string }
+
+func (n *Ident) isNode()        {}
+func (n *Ident) String() string { return n.Name }
+
+// Star is COUNT(*)'s argument.
+type Star struct{}
+
+func (n *Star) isNode()        {}
+func (n *Star) String() string { return "*" }
+
+// NumberLit is an unparsed numeric literal (int or float decided by form).
+type NumberLit struct{ Text string }
+
+func (n *NumberLit) isNode()        {}
+func (n *NumberLit) String() string { return n.Text }
+
+// StringLit is a quoted string.
+type StringLit struct{ Value string }
+
+func (n *StringLit) isNode()        {}
+func (n *StringLit) String() string { return "'" + n.Value + "'" }
+
+// BoolLit is TRUE/FALSE.
+type BoolLit struct{ Value bool }
+
+func (n *BoolLit) isNode() {}
+func (n *BoolLit) String() string {
+	if n.Value {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// NullLit is the NULL keyword.
+type NullLit struct{}
+
+func (n *NullLit) isNode()        {}
+func (n *NullLit) String() string { return "NULL" }
+
+// DateLit is DATE 'YYYY-MM-DD'.
+type DateLit struct{ Text string }
+
+func (n *DateLit) isNode()        {}
+func (n *DateLit) String() string { return "DATE '" + n.Text + "'" }
+
+// IntervalLit is INTERVAL '<n>' DAY.
+type IntervalLit struct{ Days int64 }
+
+func (n *IntervalLit) isNode()        {}
+func (n *IntervalLit) String() string { return fmt.Sprintf("INTERVAL '%d' DAY", n.Days) }
+
+// Binary is an infix operation: arithmetic, comparison, AND, OR.
+type Binary struct {
+	Op   string // "+", "-", "*", "/", "%", "=", "<>", "<", "<=", ">", ">=", "AND", "OR"
+	L, R Node
+}
+
+func (n *Binary) isNode()        {}
+func (n *Binary) String() string { return "(" + n.L.String() + " " + n.Op + " " + n.R.String() + ")" }
+
+// Unary is NOT or numeric negation.
+type Unary struct {
+	Op string // "NOT", "-"
+	E  Node
+}
+
+func (n *Unary) isNode()        {}
+func (n *Unary) String() string { return "(" + n.Op + " " + n.E.String() + ")" }
+
+// BetweenNode is e BETWEEN lo AND hi (Negate for NOT BETWEEN).
+type BetweenNode struct {
+	E, Lo, Hi Node
+	Negate    bool
+}
+
+func (n *BetweenNode) isNode() {}
+func (n *BetweenNode) String() string {
+	not := ""
+	if n.Negate {
+		not = "NOT "
+	}
+	return "(" + n.E.String() + " " + not + "BETWEEN " + n.Lo.String() + " AND " + n.Hi.String() + ")"
+}
+
+// IsNullNode is e IS [NOT] NULL.
+type IsNullNode struct {
+	E      Node
+	Negate bool
+}
+
+func (n *IsNullNode) isNode() {}
+func (n *IsNullNode) String() string {
+	if n.Negate {
+		return "(" + n.E.String() + " IS NOT NULL)"
+	}
+	return "(" + n.E.String() + " IS NULL)"
+}
+
+// FuncCall is a function application (aggregates: min, max, sum, avg,
+// count).
+type FuncCall struct {
+	Name string // lower-cased
+	Args []Node
+}
+
+func (n *FuncCall) isNode() {}
+func (n *FuncCall) String() string {
+	args := make([]string, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = a.String()
+	}
+	return n.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// CastNode is CAST(e AS TYPE).
+type CastNode struct {
+	E        Node
+	TypeName string
+}
+
+func (n *CastNode) isNode()        {}
+func (n *CastNode) String() string { return "CAST(" + n.E.String() + " AS " + n.TypeName + ")" }
+
+// String renders the statement back to SQL-ish text (debugging aid).
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, item := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(item.Expr.String())
+		if item.Alias != "" {
+			sb.WriteString(" AS " + item.Alias)
+		}
+	}
+	sb.WriteString(" FROM " + s.From.String())
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(g.String())
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(o.Expr.String())
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		sb.WriteString(fmt.Sprintf(" LIMIT %d", s.Limit))
+	}
+	return sb.String()
+}

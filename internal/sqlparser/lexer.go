@@ -1,0 +1,145 @@
+// Package sqlparser implements the SQL front end: a lexer and a
+// recursive-descent parser producing an unresolved AST, covering the
+// dialect exercised by the paper's workloads — SELECT lists with
+// aggregates and aliases, WHERE with AND/OR/NOT/BETWEEN/IS NULL,
+// GROUP BY, ORDER BY with ASC/DESC, LIMIT, DATE literals and INTERVAL
+// arithmetic (TPC-H Q1's `DATE '1998-12-01' - INTERVAL '90' DAY`).
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; identifiers as written
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "BETWEEN": true, "IS": true, "NULL": true, "ASC": true,
+	"DESC": true, "DATE": true, "INTERVAL": true, "DAY": true, "TRUE": true,
+	"FALSE": true, "CAST": true, "DOUBLE": true, "BIGINT": true,
+	"VARCHAR": true, "BOOLEAN": true,
+}
+
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("sql:%d: %s", e.pos, e.msg) }
+
+// lex tokenizes the input.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && (unicode.IsLetter(rune(input[i])) || unicode.IsDigit(rune(input[i])) || input[i] == '_') {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{tokKeyword, upper, start})
+			} else {
+				toks = append(toks, token{tokIdent, word, start})
+			}
+		case unicode.IsDigit(c) || (c == '.' && i+1 < n && unicode.IsDigit(rune(input[i+1]))):
+			start := i
+			seenDot := false
+			for i < n {
+				ch := input[i]
+				if ch == '.' {
+					if seenDot {
+						break
+					}
+					seenDot = true
+					i++
+					continue
+				}
+				if ch >= '0' && ch <= '9' || ch == 'e' || ch == 'E' {
+					i++
+					continue
+				}
+				if (ch == '+' || ch == '-') && i > start && (input[i-1] == 'e' || input[i-1] == 'E') {
+					i++
+					continue
+				}
+				break
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c == '\'':
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, &lexError{i, "unterminated string literal"}
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+		default:
+			start := i
+			two := ""
+			if i+1 < n {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				toks = append(toks, token{tokSymbol, two, start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '+', '-', '*', '/', '%', '=', '<', '>', '.':
+				toks = append(toks, token{tokSymbol, string(c), start})
+				i++
+			default:
+				return nil, &lexError{i, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}

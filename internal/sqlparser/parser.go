@@ -1,0 +1,431 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse converts one SELECT statement into an AST.
+func Parse(sql string) (*SelectStmt, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) advance()    { p.pos++ }
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		t := p.cur()
+		p.advance()
+		return t, nil
+	}
+	return token{}, p.errf("expected %s, found %q", text, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql:%d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = name
+
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, g)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		stmt.Limit = n
+	}
+	return stmt, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(tokKeyword, "AS") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = t.text
+	} else if p.at(tokIdent, "") {
+		// Bare alias: SELECT x y.
+		item.Alias = p.cur().text
+		p.advance()
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableName() (TableName, error) {
+	t1, err := p.expect(tokIdent, "")
+	if err != nil {
+		return TableName{}, err
+	}
+	if p.accept(tokSymbol, ".") {
+		t2, err := p.expect(tokIdent, "")
+		if err != nil {
+			return TableName{}, err
+		}
+		return TableName{Schema: t1.text, Table: t2.text}, nil
+	}
+	return TableName{Table: t1.text}, nil
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	expr     := orExpr
+//	orExpr   := andExpr (OR andExpr)*
+//	andExpr  := notExpr (AND notExpr)*
+//	notExpr  := NOT notExpr | predicate
+//	predicate := additive [cmpOp additive | [NOT] BETWEEN additive AND additive | IS [NOT] NULL]
+//	additive := multiplicative (("+"|"-") multiplicative)*
+//	multiplicative := unary (("*"|"/"|"%") unary)*
+//	unary    := "-" unary | primary
+//	primary  := literal | ident | funcCall | CAST | "(" expr ")"
+func (p *parser) parseExpr() (Node, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Node, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Node, error) {
+	if p.accept(tokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Node, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(tokSymbol, "") {
+		switch p.cur().text {
+		case "=", "<>", "!=", "<", "<=", ">", ">=":
+			op := p.cur().text
+			if op == "!=" {
+				op = "<>"
+			}
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	negate := false
+	if p.at(tokKeyword, "NOT") && p.toks[p.pos+1].kind == tokKeyword && p.toks[p.pos+1].text == "BETWEEN" {
+		p.advance()
+		negate = true
+	}
+	if p.accept(tokKeyword, "BETWEEN") {
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenNode{E: l, Lo: lo, Hi: hi, Negate: negate}, nil
+	}
+	if p.accept(tokKeyword, "IS") {
+		neg := p.accept(tokKeyword, "NOT")
+		if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullNode{E: l, Negate: neg}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Node, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSymbol, "+") || p.at(tokSymbol, "-") {
+		op := p.cur().text
+		p.advance()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (Node, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokSymbol, "*") || p.at(tokSymbol, "/") || p.at(tokSymbol, "%") {
+		op := p.cur().text
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	if p.accept(tokSymbol, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		return &NumberLit{Text: t.text}, nil
+	case t.kind == tokString:
+		p.advance()
+		return &StringLit{Value: t.text}, nil
+	case t.kind == tokKeyword && t.text == "TRUE":
+		p.advance()
+		return &BoolLit{Value: true}, nil
+	case t.kind == tokKeyword && t.text == "FALSE":
+		p.advance()
+		return &BoolLit{Value: false}, nil
+	case t.kind == tokKeyword && t.text == "NULL":
+		p.advance()
+		return &NullLit{}, nil
+	case t.kind == tokKeyword && t.text == "DATE":
+		p.advance()
+		s, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		return &DateLit{Text: s.text}, nil
+	case t.kind == tokKeyword && t.text == "INTERVAL":
+		p.advance()
+		s, err := p.expect(tokString, "")
+		if err != nil {
+			return nil, err
+		}
+		days, err := strconv.ParseInt(s.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad interval %q", s.text)
+		}
+		if _, err := p.expect(tokKeyword, "DAY"); err != nil {
+			return nil, err
+		}
+		return &IntervalLit{Days: days}, nil
+	case t.kind == tokKeyword && t.text == "CAST":
+		p.advance()
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "AS"); err != nil {
+			return nil, err
+		}
+		ty := p.cur()
+		if ty.kind != tokKeyword {
+			return nil, p.errf("expected type name, found %q", ty.text)
+		}
+		p.advance()
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &CastNode{E: e, TypeName: ty.text}, nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.advance()
+		if p.accept(tokSymbol, "(") {
+			call := &FuncCall{Name: lower(t.text)}
+			if p.accept(tokSymbol, "*") {
+				call.Args = append(call.Args, &Star{})
+			} else if !p.at(tokSymbol, ")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.accept(tokSymbol, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{Name: t.text}, nil
+	default:
+		return nil, p.errf("unexpected token %q", t.text)
+	}
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,251 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+func TestSimpleSelect(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, b FROM t")
+	if len(stmt.Items) != 2 || stmt.From.Table != "t" || stmt.Limit != -1 {
+		t.Errorf("stmt = %+v", stmt)
+	}
+	if id, ok := stmt.Items[0].Expr.(*Ident); !ok || id.Name != "a" {
+		t.Errorf("item0 = %v", stmt.Items[0].Expr)
+	}
+}
+
+func TestQualifiedTableAndAliases(t *testing.T) {
+	stmt := mustParse(t, "SELECT x AS foo, y bar FROM lanl.laghos")
+	if stmt.From.Schema != "lanl" || stmt.From.Table != "laghos" {
+		t.Errorf("from = %v", stmt.From)
+	}
+	if stmt.Items[0].Alias != "foo" || stmt.Items[1].Alias != "bar" {
+		t.Errorf("aliases = %q, %q", stmt.Items[0].Alias, stmt.Items[1].Alias)
+	}
+}
+
+func TestLaghosQuery(t *testing.T) {
+	sql := `SELECT min(vertex_id) AS VID, min(x), min(y), min(z), avg(e) AS E
+	        FROM lanl.laghos
+	        WHERE x BETWEEN 0.8 AND 3.2 AND y BETWEEN 0.8 AND 3.2 AND z BETWEEN 0.8 AND 3.2
+	        GROUP BY vertex_id ORDER BY E LIMIT 100`
+	stmt := mustParse(t, sql)
+	if len(stmt.Items) != 5 {
+		t.Fatalf("items = %d", len(stmt.Items))
+	}
+	if fc, ok := stmt.Items[4].Expr.(*FuncCall); !ok || fc.Name != "avg" {
+		t.Errorf("item4 = %v", stmt.Items[4].Expr)
+	}
+	if stmt.Limit != 100 || len(stmt.GroupBy) != 1 || len(stmt.OrderBy) != 1 {
+		t.Errorf("clauses wrong: %+v", stmt)
+	}
+	// WHERE is a conjunction of three BETWEENs.
+	and1, ok := stmt.Where.(*Binary)
+	if !ok || and1.Op != "AND" {
+		t.Fatalf("where = %v", stmt.Where)
+	}
+	if _, ok := and1.R.(*BetweenNode); !ok {
+		t.Errorf("where right = %v", and1.R)
+	}
+}
+
+func TestDeepWaterQuery(t *testing.T) {
+	sql := `SELECT MAX((rowid % (500*500))/500) AS m, timestep
+	        FROM lanl.deepwater WHERE v02 > 0.1 GROUP BY timestep`
+	stmt := mustParse(t, sql)
+	fc, ok := stmt.Items[0].Expr.(*FuncCall)
+	if !ok || fc.Name != "max" || len(fc.Args) != 1 {
+		t.Fatalf("item0 = %v", stmt.Items[0].Expr)
+	}
+	div, ok := fc.Args[0].(*Binary)
+	if !ok || div.Op != "/" {
+		t.Fatalf("max arg = %v", fc.Args[0])
+	}
+	mod, ok := div.L.(*Binary)
+	if !ok || mod.Op != "%" {
+		t.Fatalf("div left = %v", div.L)
+	}
+}
+
+func TestTPCHQ1(t *testing.T) {
+	sql := `SELECT returnflag, linestatus, SUM(quantity) AS sum_qty,
+	        SUM(extendedprice * (1 - discount)) AS sum_disc_price,
+	        SUM(extendedprice * (1 - discount) * (1 + tax)) AS sum_charge,
+	        AVG(quantity) AS avg_qty, COUNT(*) AS count_order
+	        FROM tpch.lineitem
+	        WHERE shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY
+	        GROUP BY returnflag, linestatus
+	        ORDER BY returnflag, linestatus`
+	stmt := mustParse(t, sql)
+	if len(stmt.Items) != 7 || len(stmt.GroupBy) != 2 || len(stmt.OrderBy) != 2 {
+		t.Fatalf("clauses: items=%d group=%d order=%d", len(stmt.Items), len(stmt.GroupBy), len(stmt.OrderBy))
+	}
+	cmp, ok := stmt.Where.(*Binary)
+	if !ok || cmp.Op != "<=" {
+		t.Fatalf("where = %v", stmt.Where)
+	}
+	sub, ok := cmp.R.(*Binary)
+	if !ok || sub.Op != "-" {
+		t.Fatalf("where rhs = %v", cmp.R)
+	}
+	if _, ok := sub.L.(*DateLit); !ok {
+		t.Errorf("date lit missing: %v", sub.L)
+	}
+	if iv, ok := sub.R.(*IntervalLit); !ok || iv.Days != 90 {
+		t.Errorf("interval = %v", sub.R)
+	}
+	cs, ok := stmt.Items[6].Expr.(*FuncCall)
+	if !ok || cs.Name != "count" {
+		t.Fatalf("count item = %v", stmt.Items[6].Expr)
+	}
+	if _, ok := cs.Args[0].(*Star); !ok {
+		t.Errorf("count arg = %v", cs.Args[0])
+	}
+}
+
+func TestOrderByDescAsc(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t ORDER BY a DESC, b ASC, c")
+	if !stmt.OrderBy[0].Desc || stmt.OrderBy[1].Desc || stmt.OrderBy[2].Desc {
+		t.Errorf("order = %+v", stmt.OrderBy)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	stmt := mustParse(t, "SELECT a + b * c FROM t")
+	add, ok := stmt.Items[0].Expr.(*Binary)
+	if !ok || add.Op != "+" {
+		t.Fatalf("top = %v", stmt.Items[0].Expr)
+	}
+	if mul, ok := add.R.(*Binary); !ok || mul.Op != "*" {
+		t.Errorf("* must bind tighter than +: %v", add.R)
+	}
+	// AND binds tighter than OR.
+	stmt = mustParse(t, "SELECT a FROM t WHERE p > 1 OR q > 2 AND r > 3")
+	or, ok := stmt.Where.(*Binary)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("where = %v", stmt.Where)
+	}
+	if and, ok := or.R.(*Binary); !ok || and.Op != "AND" {
+		t.Errorf("AND must bind tighter: %v", or.R)
+	}
+	// Parens override.
+	stmt = mustParse(t, "SELECT (a + b) * c FROM t")
+	mul, ok := stmt.Items[0].Expr.(*Binary)
+	if !ok || mul.Op != "*" {
+		t.Errorf("parens ignored: %v", stmt.Items[0].Expr)
+	}
+}
+
+func TestNotAndNegation(t *testing.T) {
+	stmt := mustParse(t, "SELECT a FROM t WHERE NOT a > 1 AND b IS NOT NULL")
+	and, _ := stmt.Where.(*Binary)
+	if _, ok := and.L.(*Unary); !ok {
+		t.Errorf("NOT missing: %v", and.L)
+	}
+	isn, ok := and.R.(*IsNullNode)
+	if !ok || !isn.Negate {
+		t.Errorf("IS NOT NULL = %v", and.R)
+	}
+	stmt = mustParse(t, "SELECT -x FROM t WHERE y NOT BETWEEN 1 AND 2")
+	if u, ok := stmt.Items[0].Expr.(*Unary); !ok || u.Op != "-" {
+		t.Errorf("negation = %v", stmt.Items[0].Expr)
+	}
+	if b, ok := stmt.Where.(*BetweenNode); !ok || !b.Negate {
+		t.Errorf("NOT BETWEEN = %v", stmt.Where)
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	stmt := mustParse(t, "SELECT 1, 2.5, 1e3, 'it''s', TRUE, FALSE, NULL FROM t")
+	if n := stmt.Items[0].Expr.(*NumberLit); n.Text != "1" {
+		t.Errorf("int lit = %v", n)
+	}
+	if n := stmt.Items[2].Expr.(*NumberLit); n.Text != "1e3" {
+		t.Errorf("sci lit = %v", n)
+	}
+	if s := stmt.Items[3].Expr.(*StringLit); s.Value != "it's" {
+		t.Errorf("string lit = %q", s.Value)
+	}
+	if b := stmt.Items[4].Expr.(*BoolLit); !b.Value {
+		t.Error("TRUE lit wrong")
+	}
+	if _, ok := stmt.Items[6].Expr.(*NullLit); !ok {
+		t.Error("NULL lit wrong")
+	}
+}
+
+func TestCast(t *testing.T) {
+	stmt := mustParse(t, "SELECT CAST(a AS DOUBLE) FROM t")
+	c, ok := stmt.Items[0].Expr.(*CastNode)
+	if !ok || c.TypeName != "DOUBLE" {
+		t.Errorf("cast = %v", stmt.Items[0].Expr)
+	}
+}
+
+func TestComments(t *testing.T) {
+	stmt := mustParse(t, "SELECT a -- trailing comment\nFROM t")
+	if len(stmt.Items) != 1 {
+		t.Error("comment broke parse")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t LIMIT -1",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t ORDER a",
+		"SELECT a FROM t extra garbage",
+		"SELECT f( FROM t",
+		"SELECT a FROM t WHERE x BETWEEN 1",
+		"SELECT 'unterminated FROM t",
+		"SELECT a FROM t WHERE x IS",
+		"SELECT CAST(a DOUBLE) FROM t",
+		"SELECT a FROM t WHERE @ > 1",
+		"SELECT INTERVAL 'abc' DAY FROM t",
+		"SELECT DATE FROM t",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded", sql)
+		}
+	}
+}
+
+func TestStringRendersBack(t *testing.T) {
+	sql := "SELECT min(x) AS m FROM s.t WHERE a > 1 AND b BETWEEN 2 AND 3 GROUP BY g ORDER BY m DESC LIMIT 10"
+	stmt := mustParse(t, sql)
+	out := stmt.String()
+	for _, frag := range []string{"min(x) AS m", "FROM s.t", "GROUP BY g", "ORDER BY m DESC", "LIMIT 10", "BETWEEN 2 AND 3"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("rendered %q missing %q", out, frag)
+		}
+	}
+	// Re-parsing the rendered text must succeed (idempotence check).
+	if _, err := Parse(out); err != nil {
+		t.Errorf("re-parse failed: %v", err)
+	}
+}
+
+func TestCaseInsensitiveKeywordsAndFuncs(t *testing.T) {
+	stmt := mustParse(t, "select Sum(A) from T where B between 1 and 2 group by C order by 1 limit 5")
+	if fc := stmt.Items[0].Expr.(*FuncCall); fc.Name != "sum" {
+		t.Errorf("func name = %q", fc.Name)
+	}
+}
