@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# check is the verification gate: vet plus the full suite under the race
+# detector (the streaming RPC and parallel scanner are concurrency-heavy).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...

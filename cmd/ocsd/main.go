@@ -39,7 +39,10 @@ func main() {
 		nodeAddrs = append(nodeAddrs, addr)
 		storageNodes = append(storageNodes, node)
 	}
-	frontend := ocsserver.NewFrontend(nodeAddrs)
+	frontend, err := ocsserver.NewFrontend(nodeAddrs)
+	if err != nil {
+		log.Fatalf("ocsd: frontend: %v", err)
+	}
 	addr, err := frontend.Listen(*listen)
 	if err != nil {
 		log.Fatalf("ocsd: frontend: %v", err)

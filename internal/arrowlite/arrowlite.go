@@ -70,10 +70,11 @@ func codeKind(c uint8) (types.Kind, error) {
 
 // Writer emits an arrowlite stream.
 type Writer struct {
-	w      io.Writer
-	schema *types.Schema
-	closed bool
-	n      int64 // bytes written
+	w       io.Writer
+	schema  *types.Schema
+	closed  bool
+	n       int64  // bytes written
+	scratch []byte // reused batch-encode buffer
 }
 
 // NewWriter writes the magic and schema message and returns a batch writer.
@@ -119,13 +120,14 @@ func (w *Writer) WriteBatch(page *column.Page) error {
 	if page.NumCols() != w.schema.Len() {
 		return fmt.Errorf("arrowlite: batch has %d cols, schema has %d", page.NumCols(), w.schema.Len())
 	}
-	msg, err := encodeBatch(page)
+	msg, err := AppendBatch(w.scratch[:0], page)
 	if err != nil {
 		return err
 	}
+	w.scratch = msg
 	if len(msg) == 0 {
 		// A zero block length is the end marker; pad empty batches so
-		// they stay distinguishable. encodeBatch always emits the row
+		// they stay distinguishable. AppendBatch always emits the row
 		// count, so this cannot happen, but guard anyway.
 		return errors.New("arrowlite: empty batch message")
 	}
@@ -143,18 +145,30 @@ func (w *Writer) Close() error {
 }
 
 func encodeSchema(s *types.Schema) ([]byte, error) {
-	var buf []byte
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Len()))
+	return AppendSchema(nil, s)
+}
+
+// AppendSchema appends an encoded schema message to dst and returns the
+// extended slice. It is the allocation-free form of the schema encoder,
+// usable with GetBuf for streaming one message per RPC chunk.
+func AppendSchema(dst []byte, s *types.Schema) ([]byte, error) {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.Len()))
 	for _, c := range s.Columns {
 		code, err := kindCode(c.Type)
 		if err != nil {
 			return nil, err
 		}
-		buf = append(buf, code)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Name)))
-		buf = append(buf, c.Name...)
+		dst = append(dst, code)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(c.Name)))
+		dst = append(dst, c.Name...)
 	}
-	return buf, nil
+	return dst, nil
+}
+
+// DecodeSchemaMsg decodes one schema message (the payload of the first
+// stream chunk in the OCS result protocol).
+func DecodeSchemaMsg(b []byte) (*types.Schema, error) {
+	return decodeSchema(b)
 }
 
 func decodeSchema(b []byte) (*types.Schema, error) {
@@ -186,70 +200,70 @@ func decodeSchema(b []byte) (*types.Schema, error) {
 	return types.NewSchema(cols...), nil
 }
 
-// packBits packs a bool slice LSB-first; true bits set.
-func packBits(bits []bool) []byte {
-	out := make([]byte, (len(bits)+7)/8)
-	for i, b := range bits {
-		if b {
-			out[i/8] |= 1 << (uint(i) % 8)
-		}
-	}
-	return out
-}
-
-func unpackBits(data []byte, n int) ([]bool, error) {
-	if len(data) < (n+7)/8 {
-		return nil, ErrCorrupt
-	}
-	out := make([]bool, n)
-	for i := range out {
-		out[i] = data[i/8]&(1<<(uint(i)%8)) != 0
-	}
-	return out, nil
-}
-
-func encodeBatch(page *column.Page) ([]byte, error) {
-	var buf []byte
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(page.NumRows()))
+// AppendBatch appends one encoded record batch message to dst and returns
+// the extended slice. Bitmaps are packed directly into dst with no
+// intermediate slices, so pairing this with GetBuf/PutBuf makes the
+// per-chunk serialize path allocation-free in steady state.
+func AppendBatch(dst []byte, page *column.Page) ([]byte, error) {
 	n := page.NumRows()
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
 	for _, v := range page.Vectors {
-		// Validity bitmap: 1 = valid.
-		valid := make([]bool, n)
-		for i := 0; i < n; i++ {
-			valid[i] = !v.IsNull(i)
+		// Validity bitmap: 1 = valid, packed LSB-first straight into dst.
+		bmLen := (n + 7) / 8
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(bmLen))
+		base := len(dst)
+		for i := 0; i < bmLen; i++ {
+			dst = append(dst, 0)
 		}
-		bm := packBits(valid)
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(bm)))
-		buf = append(buf, bm...)
+		for i := 0; i < n; i++ {
+			if !v.IsNull(i) {
+				dst[base+i/8] |= 1 << (uint(i) % 8)
+			}
+		}
 
 		switch v.Kind {
 		case types.Int64, types.Date:
 			for _, x := range v.Ints {
-				buf = binary.LittleEndian.AppendUint64(buf, uint64(x))
+				dst = binary.LittleEndian.AppendUint64(dst, uint64(x))
 			}
 		case types.Float64:
 			for _, x := range v.Floats {
-				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+				dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(x))
 			}
 		case types.Bool:
-			bb := packBits(v.Bools)
-			buf = append(buf, bb...)
+			bb := (len(v.Bools) + 7) / 8
+			base := len(dst)
+			for i := 0; i < bb; i++ {
+				dst = append(dst, 0)
+			}
+			for i, b := range v.Bools {
+				if b {
+					dst[base+i/8] |= 1 << (uint(i) % 8)
+				}
+			}
 		case types.String:
 			// Offsets (n+1 x u32) then concatenated bytes.
 			off := uint32(0)
-			buf = binary.LittleEndian.AppendUint32(buf, off)
+			dst = binary.LittleEndian.AppendUint32(dst, off)
 			for _, s := range v.Strings {
 				off += uint32(len(s))
-				buf = binary.LittleEndian.AppendUint32(buf, off)
+				dst = binary.LittleEndian.AppendUint32(dst, off)
 			}
 			for _, s := range v.Strings {
-				buf = append(buf, s...)
+				dst = append(dst, s...)
 			}
 		default:
 			return nil, fmt.Errorf("arrowlite: unsupported vector kind %v", v.Kind)
 		}
 	}
-	return buf, nil
+	return dst, nil
+}
+
+// DecodeBatchMsg decodes one record batch message against a known schema.
+// It is safe to call on a pooled or otherwise reused buffer: every value
+// (including strings) is copied out of b.
+func DecodeBatchMsg(b []byte, schema *types.Schema) (*column.Page, error) {
+	return decodeBatch(b, schema)
 }
 
 func decodeBatch(b []byte, schema *types.Schema) (*column.Page, error) {
@@ -265,13 +279,12 @@ func decodeBatch(b []byte, schema *types.Schema) (*column.Page, error) {
 		}
 		bmLen := int(binary.LittleEndian.Uint32(b))
 		b = b[4:]
-		if len(b) < bmLen {
+		if len(b) < bmLen || bmLen < (n+7)/8 {
 			return nil, ErrCorrupt
 		}
-		valid, err := unpackBits(b[:bmLen], n)
-		if err != nil {
-			return nil, err
-		}
+		// Read validity bits in place instead of unpacking to a []bool.
+		bm := b[:bmLen]
+		valid := func(i int) bool { return bm[i/8]&(1<<(uint(i)%8)) != 0 }
 		b = b[bmLen:]
 		vec := page.Vectors[ci]
 		switch col.Type {
@@ -281,7 +294,7 @@ func decodeBatch(b []byte, schema *types.Schema) (*column.Page, error) {
 			}
 			for i := 0; i < n; i++ {
 				x := int64(binary.LittleEndian.Uint64(b[8*i:]))
-				appendMaybeNull(vec, valid[i], types.Value{Kind: col.Type, I: x})
+				appendMaybeNull(vec, valid(i), types.Value{Kind: col.Type, I: x})
 			}
 			b = b[8*n:]
 		case types.Float64:
@@ -290,7 +303,7 @@ func decodeBatch(b []byte, schema *types.Schema) (*column.Page, error) {
 			}
 			for i := 0; i < n; i++ {
 				x := math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
-				appendMaybeNull(vec, valid[i], types.FloatValue(x))
+				appendMaybeNull(vec, valid(i), types.FloatValue(x))
 			}
 			b = b[8*n:]
 		case types.Bool:
@@ -298,36 +311,35 @@ func decodeBatch(b []byte, schema *types.Schema) (*column.Page, error) {
 			if len(b) < bb {
 				return nil, ErrCorrupt
 			}
-			vals, err := unpackBits(b[:bb], n)
-			if err != nil {
-				return nil, err
-			}
+			vals := b[:bb]
 			for i := 0; i < n; i++ {
-				appendMaybeNull(vec, valid[i], types.BoolValue(vals[i]))
+				x := vals[i/8]&(1<<(uint(i)%8)) != 0
+				appendMaybeNull(vec, valid(i), types.BoolValue(x))
 			}
 			b = b[bb:]
 		case types.String:
+			// Offsets (n+1 x u32) read on the fly, no materialized slice.
 			need := 4 * (n + 1)
 			if len(b) < need {
 				return nil, ErrCorrupt
 			}
-			offsets := make([]uint32, n+1)
-			for i := range offsets {
-				offsets[i] = binary.LittleEndian.Uint32(b[4*i:])
-			}
+			offs := b[:need]
 			b = b[need:]
-			total := int(offsets[n])
+			total := int(binary.LittleEndian.Uint32(offs[4*n:]))
 			if len(b) < total {
 				return nil, ErrCorrupt
 			}
 			data := b[:total]
 			b = b[total:]
+			prev := binary.LittleEndian.Uint32(offs)
 			for i := 0; i < n; i++ {
-				if offsets[i] > offsets[i+1] || int(offsets[i+1]) > total {
+				cur := binary.LittleEndian.Uint32(offs[4*(i+1):])
+				if prev > cur || int(cur) > total {
 					return nil, ErrCorrupt
 				}
-				s := string(data[offsets[i]:offsets[i+1]])
-				appendMaybeNull(vec, valid[i], types.StringValue(s))
+				s := string(data[prev:cur])
+				appendMaybeNull(vec, valid(i), types.StringValue(s))
+				prev = cur
 			}
 		default:
 			return nil, fmt.Errorf("arrowlite: unsupported kind %v", col.Type)

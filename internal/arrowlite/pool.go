@@ -1,0 +1,32 @@
+package arrowlite
+
+import "sync"
+
+// maxPooledCap bounds what goes back into the pool so a single huge
+// result does not pin memory for the life of the process.
+const maxPooledCap = 1 << 22
+
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetBuf returns a pooled byte buffer with length 0. Callers append into
+// it and hand it back with PutBuf once the contents are no longer
+// referenced anywhere (the RPC layer copies payloads onto the wire, so
+// returning after a send is safe).
+func GetBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// PutBuf recycles a buffer obtained from GetBuf. Oversized buffers are
+// dropped instead of pooled.
+func PutBuf(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledCap {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}

@@ -2,6 +2,7 @@ package ocs
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"prestocs/internal/column"
@@ -13,6 +14,7 @@ import (
 	"prestocs/internal/parquetlite"
 	"prestocs/internal/plan"
 	"prestocs/internal/substrait"
+	"prestocs/internal/types"
 )
 
 // Connector is the Presto-OCS connector instance for one catalog.
@@ -88,36 +90,85 @@ func (c *Connector) CreatePageSource(handle plan.TableHandle, split engine.Split
 	}
 	stats.AddSubstraitGen(time.Since(start))
 
-	// Ship to OCS and await Arrow results.
+	// Open the result stream: residual operators start consuming batch 1
+	// while the storage node is still scanning later row groups. Transfer
+	// time is charged only while blocked waiting on storage (stream open
+	// plus per-batch waits), so the Table 3 breakdown keeps its meaning
+	// under overlap.
 	start = time.Now()
-	res, err := c.client.Execute(irPlan)
+	rs, err := c.client.ExecuteStream(irPlan)
 	if err != nil {
 		return nil, fmt.Errorf("ocs: executing pushdown for %s: %w", split.Object, err)
 	}
 	stats.AddTransfer(time.Since(start))
-	stats.AddBytesMoved(res.ArrowBytes)
-	stats.AddStorageWork(res.Stats)
+	return &streamSource{rs: rs, schema: h.ScanSchema(), stats: stats, object: split.Object}, nil
+}
 
-	var rows int64
-	for _, p := range res.Pages {
-		rows += int64(p.NumRows())
+// streamSource adapts an OCS result stream to an exec.Operator. It
+// accounts bytes moved, transfer-blocked time, deserialize work and
+// storage-side stats incrementally as chunks land, and implements Close
+// so the engine can release the stream when a pipeline stops early.
+type streamSource struct {
+	rs        *ocsserver.ResultStream
+	schema    *types.Schema
+	stats     *engine.ScanStats
+	object    string
+	prevBytes int64
+	done      bool
+}
+
+func (s *streamSource) Schema() *types.Schema { return s.schema }
+
+func (s *streamSource) Next() (*column.Page, error) {
+	if s.done {
+		return nil, nil
+	}
+	start := time.Now()
+	page, err := s.rs.Next()
+	stats := s.stats
+	stats.AddTransfer(time.Since(start))
+	s.accountBytes()
+	if err == io.EOF {
+		s.done = true
+		stats.AddStorageWork(s.rs.Stats())
+		return nil, nil
+	}
+	if err != nil {
+		s.done = true
+		return nil, fmt.Errorf("ocs: pushdown stream for %s: %w", s.object, err)
+	}
+	if page.NumCols() != s.schema.Len() {
+		s.done = true
+		s.rs.Close()
+		return nil, fmt.Errorf("ocs: result has %d columns, scan schema %s", page.NumCols(), s.schema)
 	}
 	// Arrow deserialization into engine pages: columnar buffer adoption
 	// plus validity expansion (1.5 ingest units/cell, half the CSV text
 	// parse cost).
-	stats.AddDeserialize(float64(rows)*float64(res.Schema.Len())*1.5, rows)
-
-	scanSchema := h.ScanSchema()
-	if len(res.Pages) > 0 && res.Pages[0].NumCols() != scanSchema.Len() {
-		return nil, fmt.Errorf("ocs: result has %d columns, scan schema %s", res.Pages[0].NumCols(), scanSchema)
-	}
+	rows := int64(page.NumRows())
+	stats.AddDeserialize(float64(rows)*float64(s.schema.Len())*1.5, rows)
 	// Present pages under the handle's scan schema (names may differ in
 	// case only).
-	pages := make([]*column.Page, len(res.Pages))
-	for i, p := range res.Pages {
-		pages[i] = &column.Page{Schema: scanSchema, Vectors: p.Vectors}
+	return &column.Page{Schema: s.schema, Vectors: page.Vectors}, nil
+}
+
+func (s *streamSource) accountBytes() {
+	b := s.rs.ArrowBytes()
+	if b > s.prevBytes {
+		s.stats.AddBytesMoved(b - s.prevBytes)
+		s.prevBytes = b
 	}
-	return exec.NewPageSource(scanSchema, pages), nil
+}
+
+// Close releases the stream; bytes received but not yet consumed are
+// still accounted so the movement meters stay truthful on early stop.
+func (s *streamSource) Close() error {
+	if !s.done {
+		s.done = true
+		s.accountBytes()
+		return s.rs.Close()
+	}
+	return nil
 }
 
 // rawSource is the no-pushdown path: full object transfer, local scan.

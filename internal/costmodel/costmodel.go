@@ -22,6 +22,7 @@ package costmodel
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 )
 
@@ -85,6 +86,21 @@ func Default() Params {
 		RPCOverheadSec:     100e-6,   // 100 µs per round trip
 		IngestOverhead:     40.0,
 	}
+}
+
+// StorageScanParallelism returns the worker-pool size for the storage
+// node's intra-object row-group scan: the modeled storage node's core
+// count (Table 1), capped by what the host actually offers so the
+// reproduction never oversubscribes real cores with modeled ones.
+func StorageScanParallelism() int {
+	n := DefaultStorageNode.Cores
+	if host := runtime.GOMAXPROCS(0); host < n {
+		n = host
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Measured is the metered footprint of one query execution.

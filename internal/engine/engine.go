@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prestocs/internal/analyzer"
@@ -187,6 +188,11 @@ func (e *Engine) run(root plan.Node, scan *plan.TableScan, conn Connector, stats
 	pageCh := make(chan *column.Page, workers*2)
 	var workerErr error
 	var errOnce sync.Once
+	var failed atomic.Bool
+	fail := func(err error) {
+		errOnce.Do(func() { workerErr = err })
+		failed.Store(true)
+	}
 	var wg sync.WaitGroup
 	var meterMu sync.Mutex
 
@@ -200,27 +206,46 @@ func (e *Engine) run(root plan.Node, scan *plan.TableScan, conn Connector, stats
 				stats.LeafMeter.Add(meter)
 				meterMu.Unlock()
 			}()
-			for split := range splitCh {
+			// runSplit processes one split; the deferred close releases
+			// sources that hold external resources (e.g. an open OCS
+			// result stream) even when the pipeline stops early.
+			runSplit := func(split Split) bool {
 				source, err := conn.CreatePageSource(scan.Handle, split, &stats.Scan)
 				if err != nil {
-					errOnce.Do(func() { workerErr = err })
-					return
+					fail(err)
+					return false
 				}
+				defer closeSource(source)
 				pipeline, err := compileChain(leafChain, source, &meter)
 				if err != nil {
-					errOnce.Do(func() { workerErr = err })
-					return
+					fail(err)
+					return false
 				}
 				for {
 					page, err := pipeline.Next()
 					if err != nil {
-						errOnce.Do(func() { workerErr = err })
-						return
+						fail(err)
+						return false
 					}
 					if page == nil {
-						break
+						return true
+					}
+					// After a failure elsewhere, stop streaming pages:
+					// the final stage may already have stopped draining.
+					if failed.Load() {
+						return false
 					}
 					pageCh <- page
+				}
+			}
+			for split := range splitCh {
+				// Fast-fail: once any worker errors, remaining splits are
+				// pointless work — the query is already doomed.
+				if failed.Load() {
+					return
+				}
+				if !runSplit(split) {
+					return
 				}
 			}
 		}()
@@ -256,6 +281,15 @@ func (e *Engine) run(root plan.Node, scan *plan.TableScan, conn Connector, stats
 		return nil, nil, err
 	}
 	return result, result.Schema, nil
+}
+
+// closeSource releases a page source that holds external resources.
+// Operators are pull-based with no mandatory lifecycle, so sources that
+// need cleanup (streaming connectors) expose an optional Close.
+func closeSource(source exec.Operator) {
+	if c, ok := source.(interface{ Close() error }); ok {
+		c.Close()
+	}
 }
 
 // splitAtExchange returns the node chains below and above the Exchange,

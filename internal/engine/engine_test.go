@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"prestocs/internal/column"
 	"prestocs/internal/exec"
@@ -21,6 +23,10 @@ type memConnector struct {
 	schema  *types.Schema
 	objects map[string][]*column.Page
 	failOn  string // object name whose page source errors
+
+	sourceDelay time.Duration // simulated per-source open cost
+	created     atomic.Int64  // successfully created page sources
+	closed      atomic.Int64  // sources released via Close
 }
 
 type memHandle struct {
@@ -66,6 +72,9 @@ func (c *memConnector) CreatePageSource(handle plan.TableHandle, split Split, st
 	if split.Object == c.failOn {
 		return nil, errors.New("mem: injected failure")
 	}
+	if c.sourceDelay > 0 {
+		time.Sleep(c.sourceDelay)
+	}
 	pages := c.objects[split.Object]
 	out := make([]*column.Page, len(pages))
 	for i, p := range pages {
@@ -76,7 +85,20 @@ func (c *memConnector) CreatePageSource(handle plan.TableHandle, split Split, st
 		}
 		stats.AddBytesMoved(out[i].ByteSize())
 	}
-	return exec.NewPageSource(h.ScanSchema(), out), nil
+	c.created.Add(1)
+	return &closeRecorder{Operator: exec.NewPageSource(h.ScanSchema(), out), closed: &c.closed}, nil
+}
+
+// closeRecorder counts Close calls so tests can prove the engine
+// releases every source it opens.
+type closeRecorder struct {
+	exec.Operator
+	closed *atomic.Int64
+}
+
+func (r *closeRecorder) Close() error {
+	r.closed.Add(1)
+	return nil
 }
 
 func newMemConnector(objects int, rowsPerObject int) *memConnector {
@@ -328,5 +350,48 @@ func TestMinMaxAggregates(t *testing.T) {
 	row := res.Page.Row(0)
 	if row[0].I != 0 || row[1].I != 19 || row[2].S != "a" {
 		t.Errorf("min/max = %v", row)
+	}
+}
+
+func TestFastFailStopsRemainingSplits(t *testing.T) {
+	// One doomed split must stop the whole query quickly: after the first
+	// error, workers may finish in-flight splits but must not keep opening
+	// page sources for the long tail.
+	e, conn := newTestEngine(64, 4)
+	conn.failOn = "obj0"
+	conn.sourceDelay = 2 * time.Millisecond
+	_, err := e.Execute("SELECT sum(v) AS s FROM t", nil)
+	if err == nil || !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("err = %v", err)
+	}
+	if created := conn.created.Load(); created >= 32 {
+		t.Errorf("fast-fail opened %d/63 sources after the failure; workers did not stop", created)
+	}
+}
+
+func TestEngineClosesEverySource(t *testing.T) {
+	// A limit satisfied early abandons sources mid-stream; the engine must
+	// still Close every source it created (streams hold connections).
+	e, conn := newTestEngine(8, 16)
+	res, err := e.Execute("SELECT id FROM t LIMIT 3", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Page.NumRows() != 3 {
+		t.Fatalf("rows = %d", res.Page.NumRows())
+	}
+	if created, closed := conn.created.Load(), conn.closed.Load(); created == 0 || created != closed {
+		t.Errorf("created %d sources, closed %d", created, closed)
+	}
+
+	// And on a failing query too.
+	conn.created.Store(0)
+	conn.closed.Store(0)
+	conn.failOn = "obj3"
+	if _, err := e.Execute("SELECT sum(v) AS s FROM t", nil); err == nil {
+		t.Fatal("expected injected failure")
+	}
+	if created, closed := conn.created.Load(), conn.closed.Load(); created != closed {
+		t.Errorf("after failure: created %d sources, closed %d", created, closed)
 	}
 }

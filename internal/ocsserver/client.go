@@ -1,6 +1,9 @@
 package ocsserver
 
 import (
+	"fmt"
+	"io"
+
 	"prestocs/internal/arrowlite"
 	"prestocs/internal/column"
 	"prestocs/internal/objstore"
@@ -36,46 +39,130 @@ type Result struct {
 	ArrowBytes int64
 }
 
-// Execute marshals the plan, ships it to OCS and decodes the Arrow
-// result.
-func (c *Client) Execute(plan *substrait.Plan) (*Result, error) {
+// ResultStream is an incremental in-storage execution result: the schema
+// is available as soon as the first chunk lands, pages arrive one Next
+// call at a time while the storage node is still scanning, and the work
+// stats become available once Next returns io.EOF.
+type ResultStream struct {
+	cs     *rpc.ClientStream
+	schema *types.Schema
+	stats  objstore.WorkStats
+	bytes  int64
+	done   bool
+}
+
+// ExecuteStream marshals the plan, ships it to OCS and returns the result
+// stream. The caller must drain it to io.EOF or Close it.
+func (c *Client) ExecuteStream(plan *substrait.Plan) (*ResultStream, error) {
 	payload, err := substrait.Marshal(plan)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.rpc.Call(MethodExecute, payload)
+	cs, err := c.rpc.Stream(MethodExecute, payload)
 	if err != nil {
 		return nil, err
 	}
-	d := protowire.NewDecoder(resp)
-	var arrow []byte
-	var stats objstore.WorkStats
+	// Chunk 0 is always the schema message.
+	first, err := cs.Recv()
+	if err != nil {
+		cs.Close()
+		if err == io.EOF {
+			return nil, fmt.Errorf("ocs: result stream ended before schema")
+		}
+		return nil, err
+	}
+	schema, err := arrowlite.DecodeSchemaMsg(first)
+	if err != nil {
+		cs.Close()
+		return nil, err
+	}
+	return &ResultStream{cs: cs, schema: schema, bytes: int64(len(first))}, nil
+}
+
+// Schema returns the result schema (available immediately).
+func (rs *ResultStream) Schema() *types.Schema { return rs.schema }
+
+// Next returns the next result page, or io.EOF once the stream ends
+// cleanly, at which point Stats and ArrowBytes are final.
+func (rs *ResultStream) Next() (*column.Page, error) {
+	if rs.done {
+		return nil, io.EOF
+	}
+	chunk, err := rs.cs.Recv()
+	if err == io.EOF {
+		rs.done = true
+		if terr := rs.decodeTrailer(); terr != nil {
+			return nil, terr
+		}
+		return nil, io.EOF
+	}
+	if err != nil {
+		rs.done = true
+		return nil, err
+	}
+	rs.bytes += int64(len(chunk))
+	return arrowlite.DecodeBatchMsg(chunk, rs.schema)
+}
+
+func (rs *ResultStream) decodeTrailer() error {
+	d := protowire.NewDecoder(rs.cs.Trailer())
 	for !d.Done() {
 		f, ty, err := d.Next()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		switch f {
 		case 1:
-			arrow, err = d.Bytes()
-		case 2:
 			var m *protowire.Decoder
 			m, err = d.Message()
 			if err == nil {
-				stats, err = decodeWorkStats(m)
+				rs.stats, err = decodeWorkStats(m)
 			}
 		default:
 			err = d.Skip(ty)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	schema, pages, err := arrowlite.Deserialize(arrow)
+	return nil
+}
+
+// Stats returns the storage-side work stats; final after Next returned
+// io.EOF.
+func (rs *ResultStream) Stats() objstore.WorkStats { return rs.stats }
+
+// ArrowBytes returns the Arrow payload bytes received so far.
+func (rs *ResultStream) ArrowBytes() int64 { return rs.bytes }
+
+// Close releases the stream; if it has not been drained the underlying
+// connection is discarded.
+func (rs *ResultStream) Close() error {
+	rs.done = true
+	return rs.cs.Close()
+}
+
+// Execute runs a plan and buffers the whole result, draining the stream.
+// Kept for callers that want the materialized form; the connector's page
+// source consumes ExecuteStream directly.
+func (c *Client) Execute(plan *substrait.Plan) (*Result, error) {
+	rs, err := c.ExecuteStream(plan)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Schema: schema, Pages: pages, Stats: stats, ArrowBytes: int64(len(arrow))}, nil
+	defer rs.Close()
+	var pages []*column.Page
+	for {
+		page, err := rs.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		pages = append(pages, page)
+	}
+	return &Result{Schema: rs.Schema(), Pages: pages, Stats: rs.Stats(), ArrowBytes: rs.ArrowBytes()}, nil
 }
 
 // Put uploads an object through the frontend.
@@ -178,7 +265,12 @@ func StartCluster(n int) (*Cluster, error) {
 		c.Nodes = append(c.Nodes, node)
 		c.NodeAddr = append(c.NodeAddr, addr)
 	}
-	c.Front = NewFrontend(c.NodeAddr)
+	front, err := NewFrontend(c.NodeAddr)
+	if err != nil {
+		c.Shutdown()
+		return nil, err
+	}
+	c.Front = front
 	addr, err := c.Front.Listen("127.0.0.1:0")
 	if err != nil {
 		c.Shutdown()

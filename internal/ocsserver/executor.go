@@ -8,9 +8,11 @@ package ocsserver
 
 import (
 	"fmt"
+	"sync"
 
 	"prestocs/internal/column"
 	"prestocs/internal/compress"
+	"prestocs/internal/costmodel"
 	"prestocs/internal/exec"
 	"prestocs/internal/expr"
 	"prestocs/internal/objstore"
@@ -18,51 +20,101 @@ import (
 	"prestocs/internal/substrait"
 )
 
+// execEnv carries the shared state of one local plan execution: the
+// operator meter, the work-stats sink (guarded by mu because the parallel
+// scanner merges reader I/O from several goroutines), the scan-pool size
+// and the cleanup hooks that stop scanner workers when the pipeline is
+// drained or abandoned.
+type execEnv struct {
+	meter    exec.Meter
+	mu       sync.Mutex
+	stats    objstore.WorkStats
+	scanPool int
+	closers  []func()
+}
+
+func newExecEnv(scanPool int) *execEnv {
+	if scanPool <= 0 {
+		scanPool = costmodel.StorageScanParallelism()
+	}
+	return &execEnv{scanPool: scanPool}
+}
+
+// addStatsDelta merges one row group's reader I/O into the shared sink.
+func (env *execEnv) addStatsDelta(bytesRead, bytesDecompressed int64, cpuUnits float64) {
+	env.mu.Lock()
+	env.stats.BytesRead += bytesRead
+	env.stats.BytesDecompressed += bytesDecompressed
+	env.stats.CPUUnits += cpuUnits
+	env.mu.Unlock()
+}
+
+// close stops scanner workers and waits for them to exit. Safe to call
+// more than once.
+func (env *execEnv) close() {
+	for _, fn := range env.closers {
+		fn()
+	}
+	env.closers = nil
+}
+
+// finish folds the operator meter into the stats snapshot and returns it.
+// Call after the pipeline has been drained and closed.
+func (env *execEnv) finish() *objstore.WorkStats {
+	env.mu.Lock()
+	defer env.mu.Unlock()
+	st := env.stats
+	st.RowsProcessed = env.meter.Rows
+	st.CPUUnits += env.meter.Units
+	return &st
+}
+
 // compilePlan lowers a validated Substrait plan into an exec pipeline over
-// the local store. The meter accumulates storage-side CPU work; reader
-// I/O is merged into stats after execution.
+// the local store. The env's meter accumulates storage-side CPU work;
+// reader I/O is merged into env.stats incrementally as row groups are
+// read.
 //
 // Row-group pruning: when a FilterRel sits directly on the ReadRel, the
 // filter condition is remapped to full-schema ordinals and used to prune
 // row groups via chunk statistics before any column data is read.
-func compilePlan(store *objstore.Store, plan *substrait.Plan, meter *exec.Meter, stats *objstore.WorkStats) (exec.Operator, error) {
-	return compileRel(store, plan.Root, meter, stats)
+func compilePlan(store *objstore.Store, plan *substrait.Plan, env *execEnv) (exec.Operator, error) {
+	return compileRel(store, plan.Root, env)
 }
 
-func compileRel(store *objstore.Store, rel substrait.Rel, meter *exec.Meter, stats *objstore.WorkStats) (exec.Operator, error) {
+func compileRel(store *objstore.Store, rel substrait.Rel, env *execEnv) (exec.Operator, error) {
 	switch t := rel.(type) {
 	case *substrait.ReadRel:
-		return compileRead(store, t, nil, meter, stats)
+		return compileRead(store, t, nil, env)
 	case *substrait.FilterRel:
 		if read, ok := t.Input.(*substrait.ReadRel); ok {
 			// Fuse filter into the scan so pruning can use the predicate.
-			src, err := compileRead(store, read, t.Condition, meter, stats)
+			src, err := compileRead(store, read, t.Condition, env)
 			if err != nil {
 				return nil, err
 			}
-			return exec.NewFilter(src, t.Condition, meter)
+			return exec.NewFilter(src, t.Condition, &env.meter)
 		}
-		input, err := compileRel(store, t.Input, meter, stats)
+		input, err := compileRel(store, t.Input, env)
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewFilter(input, t.Condition, meter)
+		return exec.NewFilter(input, t.Condition, &env.meter)
 	case *substrait.ProjectRel:
-		input, err := compileRel(store, t.Input, meter, stats)
+		input, err := compileRel(store, t.Input, env)
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewProject(input, t.Expressions, t.Names, meter)
+		return exec.NewProject(input, t.Expressions, t.Names, &env.meter)
 	case *substrait.AggregateRel:
-		input, err := compileRel(store, t.Input, meter, stats)
+		input, err := compileRel(store, t.Input, env)
 		if err != nil {
 			return nil, err
 		}
 		// Storage nodes always produce partial aggregates; the engine
 		// merges them (DESIGN.md §4).
-		return exec.NewHashAggregate(input, t.GroupKeys, t.Measures, exec.AggPartial, meter)
+		return exec.NewHashAggregate(input, t.GroupKeys, t.Measures, exec.AggPartial, &env.meter)
 	case *substrait.SortRel:
-		input, err := compileRel(store, t.Input, meter, stats)
+		input, err := compileRel(store, t.Input, env)
 		if err != nil {
 			return nil, err
 		}
@@ -70,11 +122,11 @@ func compileRel(store *objstore.Store, rel substrait.Rel, meter *exec.Meter, sta
 		for i, k := range t.Keys {
 			keys[i] = exec.SortSpec{Column: k.Column, Descending: k.Descending}
 		}
-		return exec.NewSort(input, keys, meter)
+		return exec.NewSort(input, keys, &env.meter)
 	case *substrait.FetchRel:
 		// Sort+Fetch compiles to TopN; bare Fetch to Limit.
 		if sortRel, ok := t.Input.(*substrait.SortRel); ok {
-			input, err := compileRel(store, sortRel.Input, meter, stats)
+			input, err := compileRel(store, sortRel.Input, env)
 			if err != nil {
 				return nil, err
 			}
@@ -82,9 +134,9 @@ func compileRel(store *objstore.Store, rel substrait.Rel, meter *exec.Meter, sta
 			for i, k := range sortRel.Keys {
 				keys[i] = exec.SortSpec{Column: k.Column, Descending: k.Descending}
 			}
-			return exec.NewTopN(input, keys, t.Offset+t.Count, meter)
+			return exec.NewTopN(input, keys, t.Offset+t.Count, &env.meter)
 		}
-		input, err := compileRel(store, t.Input, meter, stats)
+		input, err := compileRel(store, t.Input, env)
 		if err != nil {
 			return nil, err
 		}
@@ -95,8 +147,10 @@ func compileRel(store *objstore.Store, rel substrait.Rel, meter *exec.Meter, sta
 }
 
 // compileRead builds a page source over the object, applying column
-// projection and (when pruneWith is non-nil) row-group pruning.
-func compileRead(store *objstore.Store, read *substrait.ReadRel, pruneWith expr.Expr, meter *exec.Meter, stats *objstore.WorkStats) (exec.Operator, error) {
+// projection and (when pruneWith is non-nil) row-group pruning. With a
+// scan pool larger than one and several surviving row groups, the source
+// scans row groups concurrently with an order-preserving merge.
+func compileRead(store *objstore.Store, read *substrait.ReadRel, pruneWith expr.Expr, env *execEnv) (exec.Operator, error) {
 	data, err := store.Get(read.Bucket, read.Object)
 	if err != nil {
 		return nil, err
@@ -138,10 +192,14 @@ func compileRead(store *objstore.Store, read *substrait.ReadRel, pruneWith expr.
 		}
 	}
 
+	if env.scanPool > 1 && len(groups) > 1 {
+		return parallelScan(env, data, groups, cols, outSchema), nil
+	}
+
 	idx := 0
 	var prevRead, prevDecompressed int64
 	codec := r.Meta().Codec
-	src := exec.NewFuncSource(outSchema, func() (*column.Page, error) {
+	return exec.NewFuncSource(outSchema, func() (*column.Page, error) {
 		if idx >= len(groups) {
 			return nil, nil
 		}
@@ -154,37 +212,40 @@ func compileRead(store *objstore.Store, read *substrait.ReadRel, pruneWith expr.
 		// Merge reader I/O counters incrementally so stats stay correct
 		// even if the pipeline stops early (e.g. under a Limit) and when
 		// several reads share one stats sink.
-		stats.BytesRead += r.BytesRead - prevRead
 		deltaDec := r.BytesDecompressed - prevDecompressed
-		stats.BytesDecompressed += deltaDec
-		// Decompression is CPU spent at whichever node runs this scan.
-		stats.CPUUnits += float64(deltaDec) * compress.DecompressCostPerByte(codec)
+		env.addStatsDelta(r.BytesRead-prevRead, deltaDec,
+			float64(deltaDec)*compress.DecompressCostPerByte(codec))
 		prevRead, prevDecompressed = r.BytesRead, r.BytesDecompressed
 		return page, nil
-	})
-	_ = meter
-	return src, nil
+	}), nil
 }
 
 // ExecuteLocal runs a plan against a local store and returns the result
 // pages plus storage-side work stats. This is the storage node's embedded
 // SQL engine entry point; it is exported for direct (in-process) use by
-// tests and the quickstart example.
+// tests and the quickstart example. The row-group scan pool defaults to
+// the cost-model storage-node core count.
 func ExecuteLocal(store *objstore.Store, plan *substrait.Plan) ([]*column.Page, *objstore.WorkStats, error) {
+	return ExecuteLocalPool(store, plan, 0)
+}
+
+// ExecuteLocalPool is ExecuteLocal with an explicit row-group scan pool
+// size; pool <= 0 selects the cost-model default, pool == 1 forces the
+// sequential scanner.
+func ExecuteLocalPool(store *objstore.Store, plan *substrait.Plan, pool int) ([]*column.Page, *objstore.WorkStats, error) {
 	if _, err := plan.Validate(); err != nil {
 		return nil, nil, err
 	}
-	var meter exec.Meter
-	var stats objstore.WorkStats
-	op, err := compilePlan(store, plan, &meter, &stats)
+	env := newExecEnv(pool)
+	op, err := compilePlan(store, plan, env)
 	if err != nil {
+		env.close()
 		return nil, nil, err
 	}
 	pages, err := exec.Drain(op)
+	env.close()
 	if err != nil {
 		return nil, nil, err
 	}
-	stats.RowsProcessed = meter.Rows
-	stats.CPUUnits += meter.Units
-	return pages, &stats, nil
+	return pages, env.finish(), nil
 }

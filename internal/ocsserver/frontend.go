@@ -3,6 +3,7 @@ package ocsserver
 import (
 	"fmt"
 	"hash/fnv"
+	"io"
 	"sync"
 
 	"prestocs/internal/protowire"
@@ -31,17 +32,22 @@ type Frontend struct {
 	placement map[string]int // "bucket/key" -> node index
 }
 
-// NewFrontend connects to the given storage-node addresses.
-func NewFrontend(nodeAddrs []string) *Frontend {
+// NewFrontend connects to the given storage-node addresses. A frontend
+// with no storage nodes cannot place or route anything, so zero addresses
+// is a configuration error rather than a latent panic in nodeFor.
+func NewFrontend(nodeAddrs []string) (*Frontend, error) {
+	if len(nodeAddrs) == 0 {
+		return nil, fmt.Errorf("ocs: frontend requires at least one storage node")
+	}
 	f := &Frontend{rpc: rpc.NewServer(), placement: make(map[string]int)}
 	for _, addr := range nodeAddrs {
 		f.nodes = append(f.nodes, rpc.Dial(addr))
 	}
-	f.rpc.Register(MethodExecute, f.handleExecute)
+	f.rpc.RegisterStream(MethodExecute, f.handleExecute)
 	f.rpc.Register(MethodPut, f.handlePut)
 	f.rpc.Register(MethodGet, f.handleGet)
 	f.rpc.Register(MethodList, f.handleList)
-	return f
+	return f, nil
 }
 
 // Listen binds the frontend's RPC server.
@@ -77,11 +83,10 @@ func (f *Frontend) recordPlacement(bucket, key string, node int) {
 }
 
 // handleExecute validates the plan, routes it to the node holding the
-// object named by its ReadRel and forwards the response unchanged.
-func (f *Frontend) handleExecute(payload []byte) ([]byte, error) {
-	if len(f.nodes) == 0 {
-		return nil, fmt.Errorf("ocs: frontend has no storage nodes")
-	}
+// object named by its ReadRel and proxies the node's result stream chunk
+// by chunk — the frontend never buffers more than one chunk, so bytes
+// reach the engine while the node is still scanning.
+func (f *Frontend) handleExecute(payload []byte, send func([]byte) error) ([]byte, error) {
 	plan, err := substrait.Unmarshal(payload)
 	if err != nil {
 		return nil, fmt.Errorf("ocs: rejecting plan: %w", err)
@@ -96,7 +101,23 @@ func (f *Frontend) handleExecute(payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("ocs: plan has no read relation")
 	}
 	node := f.nodeFor(read.Bucket, read.Object)
-	return f.nodes[node].Call(NodeMethodExecute, payload)
+	st, err := f.nodes[node].Stream(NodeMethodExecute, payload)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	for {
+		chunk, err := st.Recv()
+		if err == io.EOF {
+			return st.Trailer(), nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := send(chunk); err != nil {
+			return nil, err
+		}
+	}
 }
 
 func (f *Frontend) handlePut(payload []byte) ([]byte, error) {

@@ -4,10 +4,12 @@ import (
 	"fmt"
 
 	"prestocs/internal/arrowlite"
+	"prestocs/internal/column"
 	"prestocs/internal/objstore"
 	"prestocs/internal/protowire"
 	"prestocs/internal/rpc"
 	"prestocs/internal/substrait"
+	"prestocs/internal/types"
 )
 
 // RPC methods exposed by a storage node (frontend-facing).
@@ -26,12 +28,21 @@ type StorageNode struct {
 	ID    int
 	store *objstore.Store
 	rpc   *rpc.Server
+
+	// ScanPool sizes the row-group scan worker pool; 0 selects the
+	// cost-model storage-node core count, 1 forces sequential scans.
+	// Set before the first query.
+	ScanPool int
+	// ChunkRows coalesces result pages until a stream chunk carries at
+	// least this many rows; 0 streams one Arrow batch per row group.
+	// Set before the first query.
+	ChunkRows int
 }
 
 // NewStorageNode creates a node with an empty store.
 func NewStorageNode(id int) *StorageNode {
 	n := &StorageNode{ID: id, store: objstore.NewStore(), rpc: rpc.NewServer()}
-	n.rpc.Register(NodeMethodExecute, n.handleExecute)
+	n.rpc.RegisterStream(NodeMethodExecute, n.handleExecute)
 	n.rpc.Register(NodeMethodPut, n.handlePut)
 	n.rpc.Register(NodeMethodGet, n.handleGet)
 	n.rpc.Register(NodeMethodList, n.handleList)
@@ -47,34 +58,95 @@ func (n *StorageNode) Listen(addr string) (string, error) { return n.rpc.Listen(
 // Close shuts the node down.
 func (n *StorageNode) Close() error { return n.rpc.Close() }
 
-// handleExecute parses a Substrait plan, runs it locally and returns an
-// Arrow-encoded result stream plus work stats.
-func (n *StorageNode) handleExecute(payload []byte) ([]byte, error) {
+// handleExecute parses a Substrait plan, runs it locally and streams the
+// result: chunk 0 is an arrowlite schema message, every further chunk is
+// one arrowlite record-batch message, and the end-frame trailer carries
+// the work stats. Batches leave the node as the executor produces them,
+// so the engine consumes row group 1 while row group N is still being
+// scanned. Errors after the first chunk surface as mid-stream error
+// frames, which the client turns into query errors.
+func (n *StorageNode) handleExecute(payload []byte, send func([]byte) error) ([]byte, error) {
 	plan, err := substrait.Unmarshal(payload)
 	if err != nil {
 		return nil, fmt.Errorf("node %d: invalid plan: %w", n.ID, err)
 	}
-	pages, stats, err := ExecuteLocal(n.store, plan)
+	// Partial aggregation changes the output schema (it is still keys +
+	// one column per measure, same names/kinds for our function set), so
+	// the first page's schema is authoritative once a page exists; the
+	// validated plan schema covers the zero-page case.
+	planSchema, err := plan.Validate()
 	if err != nil {
 		return nil, fmt.Errorf("node %d: %w", n.ID, err)
 	}
-	schema, err := plan.Validate()
+	env := newExecEnv(n.ScanPool)
+	defer env.close()
+	op, err := compilePlan(n.store, plan, env)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("node %d: %w", n.ID, err)
 	}
-	// Partial aggregation changes the output schema (it is still keys +
-	// one column per measure, same names/kinds for our function set), so
-	// the page schema is authoritative when pages exist.
-	if len(pages) > 0 {
-		schema = pages[0].Schema
+
+	buf := arrowlite.GetBuf()
+	defer arrowlite.PutBuf(buf)
+	sentSchema := false
+	sendSchema := func(schema *types.Schema) error {
+		msg, err := arrowlite.AppendSchema((*buf)[:0], schema)
+		if err != nil {
+			return err
+		}
+		*buf = msg
+		sentSchema = true
+		return send(msg)
 	}
-	arrow, err := arrowlite.Serialize(schema, pages)
-	if err != nil {
-		return nil, err
+	sendBatch := func(page *column.Page) error {
+		msg, err := arrowlite.AppendBatch((*buf)[:0], page)
+		if err != nil {
+			return err
+		}
+		*buf = msg
+		return send(msg)
 	}
+
+	var staged *column.Page // coalescing buffer when ChunkRows > 0
+	for {
+		page, err := op.Next()
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", n.ID, err)
+		}
+		if page == nil {
+			break
+		}
+		if !sentSchema {
+			if err := sendSchema(page.Schema); err != nil {
+				return nil, err
+			}
+		}
+		if n.ChunkRows > 0 {
+			if staged == nil {
+				staged = column.NewPage(page.Schema)
+			}
+			staged.AppendPage(page)
+			if staged.NumRows() < n.ChunkRows {
+				continue
+			}
+			page, staged = staged, nil
+		}
+		if err := sendBatch(page); err != nil {
+			return nil, err
+		}
+	}
+	if staged != nil && staged.NumRows() > 0 {
+		if err := sendBatch(staged); err != nil {
+			return nil, err
+		}
+	}
+	if !sentSchema {
+		if err := sendSchema(planSchema); err != nil {
+			return nil, err
+		}
+	}
+	env.close()
 	e := protowire.NewEncoder()
-	e.Bytes(1, arrow)
-	encodeWorkStats(e, 2, *stats)
+	encodeWorkStats(e, 1, *env.finish())
 	return e.Encoded(), nil
 }
 

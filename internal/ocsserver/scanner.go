@@ -1,0 +1,127 @@
+package ocsserver
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"prestocs/internal/column"
+	"prestocs/internal/compress"
+	"prestocs/internal/exec"
+	"prestocs/internal/parquetlite"
+	"prestocs/internal/types"
+)
+
+// scanSlot is one row group's outcome, delivered to its ordered slot.
+type scanSlot struct {
+	page *column.Page
+	err  error
+}
+
+// parallelScan scans the given row groups with a bounded worker pool and
+// merges results back in row-group order, so downstream operators see the
+// exact page sequence the sequential scanner would produce.
+//
+// Concurrency design:
+//   - Each slot channel has capacity 1 and exactly one producer, so a
+//     worker can always deliver without blocking — abandoning the source
+//     mid-stream (leaf Limit) can never wedge a worker.
+//   - Workers claim row-group indices from an atomic cursor, but only
+//     after taking a token; the consumer returns one token per page it
+//     consumes. That bounds scan-ahead to roughly 2x the pool size, so a
+//     slow consumer does not force the whole object into memory.
+//   - Every worker opens its own parquetlite.Reader over the shared file
+//     image; readers carry per-instance I/O counters, so sharing one
+//     across goroutines would race. Deltas merge into env.stats per row
+//     group, keeping partial stats correct on early stop.
+//   - env.close() (run by the executor or node handler after the drain)
+//     closes stopCh and waits for the pool, bounding wasted work after
+//     abandonment to at most one in-flight row group per worker.
+func parallelScan(env *execEnv, data []byte, groups, cols []int, outSchema *types.Schema) exec.Operator {
+	workers := env.scanPool
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	slots := make([]chan scanSlot, len(groups))
+	for i := range slots {
+		slots[i] = make(chan scanSlot, 1)
+	}
+	lookahead := 2 * workers
+	if lookahead > len(groups) {
+		lookahead = len(groups)
+	}
+	tokens := make(chan struct{}, lookahead)
+	for i := 0; i < lookahead; i++ {
+		tokens <- struct{}{}
+	}
+	stopCh := make(chan struct{})
+	var stopOnce sync.Once
+	stop := func() { stopOnce.Do(func() { close(stopCh) }) }
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := parquetlite.NewReader(data)
+			if err != nil {
+				// The image parsed once already in compileRead, so this is
+				// near-impossible; deliver the error to every slot this
+				// worker would have owned rather than leaving gaps.
+				for {
+					select {
+					case <-stopCh:
+						return
+					case <-tokens:
+					}
+					idx := int(cursor.Add(1)) - 1
+					if idx >= len(groups) {
+						return
+					}
+					slots[idx] <- scanSlot{err: err}
+				}
+			}
+			codec := r.Meta().Codec
+			var prevRead, prevDec int64
+			for {
+				select {
+				case <-stopCh:
+					return
+				case <-tokens:
+				}
+				idx := int(cursor.Add(1)) - 1
+				if idx >= len(groups) {
+					return
+				}
+				page, err := r.ReadRowGroup(groups[idx], cols)
+				deltaDec := r.BytesDecompressed - prevDec
+				env.addStatsDelta(r.BytesRead-prevRead, deltaDec,
+					float64(deltaDec)*compress.DecompressCostPerByte(codec))
+				prevRead, prevDec = r.BytesRead, r.BytesDecompressed
+				slots[idx] <- scanSlot{page: page, err: err}
+			}
+		}()
+	}
+
+	env.closers = append(env.closers, func() {
+		stop()
+		wg.Wait()
+	})
+
+	next := 0
+	return exec.NewFuncSource(outSchema, func() (*column.Page, error) {
+		if next >= len(groups) {
+			return nil, nil
+		}
+		s := <-slots[next]
+		next++
+		if s.err != nil {
+			stop()
+			return nil, s.err
+		}
+		// Refill cannot block: at most `lookahead` tokens are ever
+		// outstanding and each consumed slot returns exactly one.
+		tokens <- struct{}{}
+		return s.page, nil
+	})
+}

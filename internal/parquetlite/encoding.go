@@ -185,23 +185,25 @@ func decodeChunk(data []byte, kind types.Kind, enc Encoding) (*column.Vector, er
 				appendVal(i, types.BoolValue(data[i/8]&(1<<(uint(i)%8)) != 0))
 			}
 		case types.String:
+			// Offsets (n+1 x u32) read on the fly — no materialized slice.
 			need := 4 * (n + 1)
 			if len(data) < need {
 				return nil, ErrCorrupt
 			}
-			offsets := make([]uint32, n+1)
-			for i := range offsets {
-				offsets[i] = binary.LittleEndian.Uint32(data[4*i:])
-			}
+			offs := data[:need]
 			body := data[need:]
-			if int(offsets[n]) > len(body) {
+			total := binary.LittleEndian.Uint32(offs[4*n:])
+			if int(total) > len(body) {
 				return nil, ErrCorrupt
 			}
+			prev := binary.LittleEndian.Uint32(offs)
 			for i := 0; i < n; i++ {
-				if offsets[i] > offsets[i+1] {
+				cur := binary.LittleEndian.Uint32(offs[4*(i+1):])
+				if prev > cur || cur > total {
 					return nil, ErrCorrupt
 				}
-				appendVal(i, types.StringValue(string(body[offsets[i]:offsets[i+1]])))
+				appendVal(i, types.StringValue(string(body[prev:cur])))
+				prev = cur
 			}
 		default:
 			return nil, ErrCorrupt

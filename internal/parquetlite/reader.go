@@ -3,12 +3,24 @@ package parquetlite
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"prestocs/internal/column"
 	"prestocs/internal/compress"
 	"prestocs/internal/expr"
 	"prestocs/internal/types"
 )
+
+// decodeBufPool recycles scratch buffers for decompressing column chunks.
+// decodeChunk copies every value out of the raw buffer (ints into vector
+// storage, strings via string()), so the buffer can be recycled as soon
+// as the chunk is decoded.
+var decodeBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1<<16)
+		return &b
+	},
+}
 
 // Reader provides random access to a parquetlite file image: footer
 // metadata, selective column-chunk reads and row-group pruning. It also
@@ -78,12 +90,29 @@ func (r *Reader) ReadColumn(rowGroup, col int) (*column.Vector, error) {
 	ch := rg.Chunks[col]
 	comp := r.data[ch.Offset : ch.Offset+ch.CompressedSize]
 	r.BytesRead += ch.CompressedSize
-	raw, err := compress.Decode(r.meta.Codec, comp)
-	if err != nil {
-		return nil, fmt.Errorf("parquetlite: chunk rg=%d col=%d: %w", rowGroup, col, err)
+	var raw []byte
+	var scratch *[]byte
+	if r.meta.Codec == compress.None {
+		// Identity codec: decode straight from the file image. decodeChunk
+		// copies every value out, so no aliasing escapes.
+		raw = comp
+	} else {
+		scratch = decodeBufPool.Get().(*[]byte)
+		var err error
+		raw, err = compress.DecodeAppend(r.meta.Codec, comp, (*scratch)[:0])
+		if err != nil {
+			decodeBufPool.Put(scratch)
+			return nil, fmt.Errorf("parquetlite: chunk rg=%d col=%d: %w", rowGroup, col, err)
+		}
 	}
 	r.BytesDecompressed += int64(len(raw))
 	vec, err := decodeChunk(raw, r.meta.Schema.Columns[col].Type, ch.Encoding)
+	if scratch != nil {
+		if cap(raw) > cap(*scratch) {
+			*scratch = raw[:0]
+		}
+		decodeBufPool.Put(scratch)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("parquetlite: chunk rg=%d col=%d: %w", rowGroup, col, err)
 	}

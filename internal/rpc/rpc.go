@@ -9,9 +9,14 @@
 //	u32 frameLen | u8 kind | u32 methodLen | method | payload
 //
 // kind 0 = request, 1 = response-ok, 2 = response-error (payload is the
-// error message). Responses echo an empty method name. A single TCP
-// connection carries sequential calls; the client pools connections for
-// concurrency.
+// error message), 3 = stream-chunk, 4 = stream-end (payload is the
+// stream trailer). Responses echo an empty method name. A unary call is
+// one request frame answered by one ok/error frame; a streaming call is
+// one request frame answered by any number of chunk frames terminated by
+// an end frame — or by an error frame, which is valid mid-stream and
+// aborts the stream. A single TCP connection carries sequential calls;
+// the client pools connections for concurrency. Every frame is metered
+// individually, so the harness sees streamed bytes as they flow.
 package rpc
 
 import (
@@ -28,6 +33,8 @@ const (
 	frameRequest  = 0
 	frameOK       = 1
 	frameError    = 2
+	frameChunk    = 3
+	frameEnd      = 4
 	maxFrameBytes = 1 << 30
 )
 
@@ -115,6 +122,7 @@ type Server struct {
 
 	mu       sync.RWMutex
 	handlers map[string]Handler
+	streams  map[string]StreamHandler
 	ln       net.Listener
 	wg       sync.WaitGroup
 	closed   atomic.Bool
@@ -125,7 +133,11 @@ type Server struct {
 
 // NewServer returns an empty server.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]bool)}
+	return &Server{
+		handlers: make(map[string]Handler),
+		streams:  make(map[string]StreamHandler),
+		conns:    make(map[net.Conn]bool),
+	}
 }
 
 func (s *Server) trackConn(conn net.Conn, add bool) bool {
@@ -195,7 +207,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		s.mu.RLock()
 		h, ok := s.handlers[method]
+		sh, sok := s.streams[method]
 		s.mu.RUnlock()
+		if sok {
+			if !s.serveStream(conn, sh, payload) {
+				return
+			}
+			continue
+		}
 		var respKind byte
 		var resp []byte
 		if !ok {

@@ -1,0 +1,146 @@
+package rpc
+
+import (
+	"fmt"
+	"io"
+	"net"
+)
+
+// StreamHandler serves one server-streaming call. It receives the request
+// payload and a send function that ships one chunk frame to the client.
+// Returning nil ends the stream cleanly with the returned trailer payload;
+// returning an error aborts the stream with an error frame, which is valid
+// even after chunks have been sent. If send itself fails the handler should
+// stop and return; the connection is already dead.
+type StreamHandler func(payload []byte, send func(chunk []byte) error) (trailer []byte, err error)
+
+// RegisterStream installs a streaming handler for a method name. A method
+// is either unary or streaming, not both; a streaming registration shadows
+// any unary handler with the same name.
+func (s *Server) RegisterStream(method string, h StreamHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.streams[method] = h
+}
+
+// serveStream runs one streaming call on conn. It reports whether the
+// connection is still usable for further calls (false once a write failed
+// mid-stream, since the client can no longer tell frames apart reliably).
+func (s *Server) serveStream(conn net.Conn, h StreamHandler, payload []byte) bool {
+	sendErr := false
+	send := func(chunk []byte) error {
+		n, err := writeFrame(conn, frameChunk, "", chunk)
+		if err != nil {
+			sendErr = true
+			return err
+		}
+		s.Meter.sent.Add(n)
+		return nil
+	}
+	trailer, herr := h(payload, send)
+	if sendErr {
+		return false
+	}
+	kind, resp := byte(frameEnd), trailer
+	if herr != nil {
+		kind, resp = frameError, []byte(herr.Error())
+	}
+	n, err := writeFrame(conn, kind, "", resp)
+	if err != nil {
+		return false
+	}
+	s.Meter.sent.Add(n)
+	s.Meter.calls.Add(1)
+	return true
+}
+
+// ClientStream is the receive side of a server-streaming call. Recv
+// returns chunks in order and io.EOF after the end frame; the trailer is
+// then available via Trailer. Close releases the connection and is safe
+// to call at any point, including after EOF.
+type ClientStream struct {
+	c       *Client
+	conn    net.Conn
+	method  string
+	trailer []byte
+	done    bool
+	err     error
+}
+
+// Stream opens a server-streaming call. The returned stream must be
+// drained to EOF or Closed, or the underlying connection leaks.
+func (c *Client) Stream(method string, payload []byte) (*ClientStream, error) {
+	conn, err := c.getConn()
+	if err != nil {
+		return nil, err
+	}
+	sent, err := writeFrame(conn, frameRequest, method, payload)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rpc: sending %s: %w", method, err)
+	}
+	c.Meter.sent.Add(sent)
+	return &ClientStream{c: c, conn: conn, method: method}, nil
+}
+
+// Recv returns the next chunk, io.EOF on clean end of stream, or an error.
+// After a non-EOF error the stream is dead.
+func (st *ClientStream) Recv() ([]byte, error) {
+	if st.done {
+		if st.err != nil {
+			return nil, st.err
+		}
+		return nil, io.EOF
+	}
+	k, _, payload, n, err := readFrame(st.conn)
+	if err != nil {
+		st.fail(fmt.Errorf("rpc: receiving %s stream: %w", st.method, err))
+		return nil, st.err
+	}
+	st.c.Meter.received.Add(n)
+	switch k {
+	case frameChunk:
+		return payload, nil
+	case frameEnd:
+		st.trailer = payload
+		st.done = true
+		st.c.Meter.calls.Add(1)
+		st.c.putConn(st.conn)
+		st.conn = nil
+		return nil, io.EOF
+	case frameError:
+		st.fail(&RemoteError{Method: st.method, Message: string(payload)})
+		return nil, st.err
+	default:
+		st.fail(fmt.Errorf("rpc: unexpected frame kind %d in %s stream", k, st.method))
+		return nil, st.err
+	}
+}
+
+func (st *ClientStream) fail(err error) {
+	st.err = err
+	st.done = true
+	if st.conn != nil {
+		st.conn.Close()
+		st.conn = nil
+	}
+}
+
+// Trailer returns the end-frame payload. Valid only after Recv returned
+// io.EOF.
+func (st *ClientStream) Trailer() []byte { return st.trailer }
+
+// Close releases the stream. If the stream has not reached a clean end the
+// connection is discarded rather than pooled, since unread chunk frames
+// may still be in flight.
+func (st *ClientStream) Close() error {
+	if st.conn != nil {
+		st.conn.Close()
+		st.conn = nil
+	}
+	st.done = true
+	if st.err == nil {
+		st.err = io.EOF
+	}
+	return nil
+}
