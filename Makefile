@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench check
+.PHONY: build test bench faults check
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,18 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# faults runs the failure-injection matrix twice under the race detector:
+# killed connections, black-holed links, dead compute units, cancelled
+# and deadline-bounded queries (DESIGN.md §5b).
+faults:
+	$(GO) test -race -count=2 -run 'Fault|Kill|Cancel|Retry|Fallback|Deadline|Blackhole|ComputeUnit' \
+		./internal/rpc/... ./internal/retry/... ./internal/faultnet/... \
+		./internal/ocsserver/... ./internal/harness/...
+
 # check is the verification gate: vet plus the full suite under the race
-# detector (the streaming RPC and parallel scanner are concurrency-heavy).
+# detector (the streaming RPC and parallel scanner are concurrency-heavy),
+# then the fault-injection matrix.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) faults

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"bufio"
 	"flag"
 	"fmt"
@@ -61,7 +62,7 @@ func main() {
 		}
 		session := engine.NewSession().Set(ocsconn.SessionPushdown, *pushdown)
 		start := time.Now()
-		res, err := eng.Execute(sql, session)
+		res, err := eng.Execute(context.Background(), sql, session)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			return

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,7 @@ func main() {
 
 	for _, mode := range []string{"none", "all"} {
 		session := engine.NewSession().Set(ocsconn.SessionPushdown, mode)
-		res, err := cluster.Engine.Execute(query, session)
+		res, err := cluster.Engine.Execute(context.Background(), query, session)
 		if err != nil {
 			log.Fatal(err)
 		}

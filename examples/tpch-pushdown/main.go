@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -38,14 +39,14 @@ func main() {
 
 	// OCS connector with full pushdown.
 	session := engine.NewSession().Set(ocsconn.SessionPushdown, "filter_project_agg")
-	ocsRes, err := cluster.Engine.Execute(dataset.Query, session)
+	ocsRes, err := cluster.Engine.Execute(context.Background(), dataset.Query, session)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Hive connector: same query, S3 Select path (filter-only).
 	hiveQuery := strings.Replace(dataset.Query, "FROM lineitem", "FROM hive.lineitem", 1)
-	hiveRes, err := cluster.Engine.Execute(hiveQuery, engine.NewSession())
+	hiveRes, err := cluster.Engine.Execute(context.Background(), hiveQuery, engine.NewSession())
 	if err != nil {
 		log.Fatal(err)
 	}

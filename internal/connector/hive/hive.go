@@ -8,6 +8,7 @@
 package hive
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -165,20 +166,20 @@ func rewrite(root plan.Node, fn func(plan.Node) (plan.Node, bool)) (plan.Node, e
 }
 
 // CreatePageSource implements engine.Connector.
-func (c *Connector) CreatePageSource(handle plan.TableHandle, split engine.Split, stats *engine.ScanStats) (exec.Operator, error) {
+func (c *Connector) CreatePageSource(ctx context.Context, handle plan.TableHandle, split engine.Split, stats *engine.ScanStats) (exec.Operator, error) {
 	h, ok := handle.(*Handle)
 	if !ok {
 		return nil, fmt.Errorf("hive: foreign handle %T", handle)
 	}
 	if h.Filter != nil || (h.UseSelect && h.Projection != nil) {
-		return c.selectSource(h, split, stats)
+		return c.selectSource(ctx, h, split, stats)
 	}
-	return c.getSource(h, split, stats)
+	return c.getSource(ctx, h, split, stats)
 }
 
 // selectSource uses the S3 Select-like path: storage-side filter +
 // projection, CSV transfer, compute-side parse.
-func (c *Connector) selectSource(h *Handle, split engine.Split, stats *engine.ScanStats) (exec.Operator, error) {
+func (c *Connector) selectSource(ctx context.Context, h *Handle, split engine.Split, stats *engine.ScanStats) (exec.Operator, error) {
 	scanSchema := h.ScanSchema()
 	cols := make([]string, scanSchema.Len())
 	for i, col := range scanSchema.Columns {
@@ -202,7 +203,7 @@ func (c *Connector) selectSource(h *Handle, split engine.Split, stats *engine.Sc
 		}
 	}
 	start := time.Now()
-	csvData, work, err := c.client.Select(h.Table.Bucket, split.Object, cols, pred)
+	csvData, work, err := c.client.Select(ctx, h.Table.Bucket, split.Object, cols, pred)
 	if err != nil {
 		return nil, fmt.Errorf("hive: select %s/%s: %w", h.Table.Bucket, split.Object, err)
 	}
@@ -227,9 +228,9 @@ func (c *Connector) selectSource(h *Handle, split engine.Split, stats *engine.Sc
 
 // getSource transfers the whole object and scans it locally (the
 // no-pushdown baseline).
-func (c *Connector) getSource(h *Handle, split engine.Split, stats *engine.ScanStats) (exec.Operator, error) {
+func (c *Connector) getSource(ctx context.Context, h *Handle, split engine.Split, stats *engine.ScanStats) (exec.Operator, error) {
 	start := time.Now()
-	data, work, err := c.client.Get(h.Table.Bucket, split.Object)
+	data, work, err := c.client.Get(ctx, h.Table.Bucket, split.Object)
 	if err != nil {
 		return nil, fmt.Errorf("hive: get %s/%s: %w", h.Table.Bucket, split.Object, err)
 	}

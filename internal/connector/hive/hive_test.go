@@ -1,6 +1,7 @@
 package hive
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -51,7 +52,7 @@ func setup(t *testing.T) (*engine.Engine, *objstore.Client) {
 			t.Fatal(err)
 		}
 		key := fmt.Sprintf("part-%d.pql", o)
-		if err := cli.Put("data", key, img); err != nil {
+		if err := cli.Put(context.Background(), "data", key, img); err != nil {
 			t.Fatal(err)
 		}
 		objects = append(objects, key)
@@ -85,7 +86,7 @@ func setup(t *testing.T) (*engine.Engine, *objstore.Client) {
 
 func TestFilterPushdownViaSelect(t *testing.T) {
 	e, _ := setup(t)
-	res, err := e.Execute("SELECT id, v FROM t WHERE id >= 190", nil)
+	res, err := e.Execute(context.Background(), "SELECT id, v FROM t WHERE id >= 190", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestFilterPushdownViaSelect(t *testing.T) {
 func TestNoPushdownFullTransfer(t *testing.T) {
 	e, _ := setup(t)
 	session := engine.NewSession().Set(SessionSelectPushdown, "false")
-	res, err := e.Execute("SELECT id, v FROM t WHERE id >= 190", session)
+	res, err := e.Execute(context.Background(), "SELECT id, v FROM t WHERE id >= 190", session)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,11 +157,11 @@ func TestPushdownEqualsNoPushdown(t *testing.T) {
 	}
 	off := engine.NewSession().Set(SessionSelectPushdown, "false")
 	for _, q := range queries {
-		with, err := e.Execute(q, nil)
+		with, err := e.Execute(context.Background(), q, nil)
 		if err != nil {
 			t.Fatalf("%s (pushdown): %v", q, err)
 		}
-		without, err := e.Execute(q, off)
+		without, err := e.Execute(context.Background(), q, off)
 		if err != nil {
 			t.Fatalf("%s (no pushdown): %v", q, err)
 		}
@@ -183,7 +184,7 @@ func TestAggregationStaysOnCompute(t *testing.T) {
 	// The Hive connector must never absorb aggregation — it runs engine
 	// side over select results.
 	e, _ := setup(t)
-	res, err := e.Execute("SELECT g, min(v) AS m FROM t WHERE id >= 100 GROUP BY g ORDER BY g", nil)
+	res, err := e.Execute(context.Background(), "SELECT g, min(v) AS m FROM t WHERE id >= 100 GROUP BY g ORDER BY g", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestAggregationStaysOnCompute(t *testing.T) {
 
 func TestHandleString(t *testing.T) {
 	e, _ := setup(t)
-	res, err := e.Execute("SELECT v FROM t WHERE v > 1.0", nil)
+	res, err := e.Execute(context.Background(), "SELECT v FROM t WHERE v > 1.0", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -144,6 +144,15 @@ func (p *Pushdown) Operators() []string {
 // Empty reports whether nothing is pushed.
 func (p *Pushdown) Empty() bool { return len(p.Operators()) == 0 }
 
+// OrderDeterministic reports whether the pushed pipeline's output order
+// is a pure function of the stored object: filter, projection and limit
+// preserve the row-group scan order (which the storage node's parallel
+// scanner merges order-preservingly), while partial aggregation and
+// top-N emit in hash/heap order. Only an order-deterministic pipeline
+// can be resumed after a mid-stream failure by replaying locally and
+// skipping rows already delivered.
+func (p *Pushdown) OrderDeterministic() bool { return p.Agg == nil && p.TopN == nil }
+
 // Handle is the OCS connector's table handle: table metadata, column
 // projection and the pushdown spec.
 type Handle struct {

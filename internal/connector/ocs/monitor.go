@@ -16,6 +16,10 @@ type Record struct {
 	BytesMoved int64
 	Duration   time.Duration
 	Succeeded  bool
+	// Fallbacks counts splits that degraded from pushdown to the
+	// raw-scan path during this query; nonzero means the query
+	// succeeded despite pushdown failures.
+	Fallbacks int64
 }
 
 // Monitor is the connector's EventListener: it keeps a sliding window of
@@ -49,8 +53,10 @@ func (m *Monitor) QueryCompleted(ev engine.QueryEvent) {
 		Succeeded: ev.Err == nil,
 	}
 	if ev.Stats != nil {
+		scan := ev.Stats.Scan.Snapshot()
 		rec.Pushed = ev.Stats.PushedDown
-		rec.BytesMoved = ev.Stats.Scan.Snapshot().BytesMoved
+		rec.BytesMoved = scan.BytesMoved
+		rec.Fallbacks = scan.FallbackSplits
 		rec.Duration = ev.Stats.Total
 	}
 	m.mu.Lock()

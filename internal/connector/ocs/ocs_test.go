@@ -1,6 +1,7 @@
 package ocs
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -55,7 +56,7 @@ func setup(t *testing.T) (*engine.Engine, *Connector) {
 			t.Fatal(err)
 		}
 		key := fmt.Sprintf("part-%d.pql", o)
-		if err := cli.Put("lanl", key, img); err != nil {
+		if err := cli.Put(context.Background(), "lanl", key, img); err != nil {
 			t.Fatal(err)
 		}
 		objects = append(objects, key)
@@ -122,13 +123,13 @@ func session(mode string) *engine.Session {
 func TestPushdownSoundness(t *testing.T) {
 	e, _ := setup(t)
 	for _, q := range []string{laghosQuery, deepWaterQuery} {
-		baseline, err := e.Execute(q, session("none"))
+		baseline, err := e.Execute(context.Background(), q, session("none"))
 		if err != nil {
 			t.Fatalf("baseline: %v", err)
 		}
 		want := rowMultiset(baseline.Page)
 		for _, mode := range allModes[1:] {
-			res, err := e.Execute(q, session(mode))
+			res, err := e.Execute(context.Background(), q, session(mode))
 			if err != nil {
 				t.Fatalf("mode %s: %v", mode, err)
 			}
@@ -149,7 +150,7 @@ func TestProgressivePushdownReducesMovement(t *testing.T) {
 	e, _ := setup(t)
 	moved := map[string]int64{}
 	for _, mode := range []string{"none", "filter", "filter_agg", "all"} {
-		res, err := e.Execute(laghosQuery, session(mode))
+		res, err := e.Execute(context.Background(), laghosQuery, session(mode))
 		if err != nil {
 			t.Fatalf("mode %s: %v", mode, err)
 		}
@@ -169,7 +170,7 @@ func TestPushedOperatorsPerMode(t *testing.T) {
 		"all":        {"filter", "aggregation", "final-project", "topn"},
 	}
 	for mode, want := range cases {
-		res, err := e.Execute(laghosQuery, session(mode))
+		res, err := e.Execute(context.Background(), laghosQuery, session(mode))
 		if err != nil {
 			t.Fatalf("mode %s: %v", mode, err)
 		}
@@ -179,7 +180,7 @@ func TestPushedOperatorsPerMode(t *testing.T) {
 		}
 	}
 	// Deep-water-like query has a pre-aggregation projection.
-	res, err := e.Execute(deepWaterQuery, session("filter_project_agg"))
+	res, err := e.Execute(context.Background(), deepWaterQuery, session("filter_project_agg"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestAggWithoutProjectCannotSkip(t *testing.T) {
 	// filter_agg on a plan with a pre-aggregation projection must stop at
 	// the projection (contiguity), pushing the filter only.
 	e, _ := setup(t)
-	res, err := e.Execute(deepWaterQuery, session("filter_agg"))
+	res, err := e.Execute(context.Background(), deepWaterQuery, session("filter_agg"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestTopNRequiresDisjointKeys(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := strings.Replace(laghosQuery, "FROM mesh", "FROM mesh2", 1)
-	res, err := e.Execute(q, session("all"))
+	res, err := e.Execute(context.Background(), q, session("all"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestTopNRequiresDisjointKeys(t *testing.T) {
 		}
 	}
 	// Results still match the baseline.
-	baseline, err := e.Execute(q, session("none"))
+	baseline, err := e.Execute(context.Background(), q, session("none"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,13 +246,13 @@ func TestTopNRequiresDisjointKeys(t *testing.T) {
 
 func TestAutoModeDecisions(t *testing.T) {
 	e, _ := setup(t)
-	res, err := e.Execute(laghosQuery, session("auto"))
+	res, err := e.Execute(context.Background(), laghosQuery, session("auto"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Auto should at least push the aggregation (80 groups / 240 rows
 	// ≈ 67% reduction > 50% threshold) — and must stay sound.
-	baseline, _ := e.Execute(laghosQuery, session("none"))
+	baseline, _ := e.Execute(context.Background(), laghosQuery, session("none"))
 	a, b := rowMultiset(res.Page), rowMultiset(baseline.Page)
 	for i := range a {
 		if a[i] != b[i] {
@@ -271,7 +272,7 @@ func TestAutoModeDecisions(t *testing.T) {
 
 func TestSubstraitGenTimed(t *testing.T) {
 	e, _ := setup(t)
-	res, err := e.Execute(laghosQuery, session("all"))
+	res, err := e.Execute(context.Background(), laghosQuery, session("all"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +291,7 @@ func TestSubstraitGenTimed(t *testing.T) {
 func TestMonitorWindow(t *testing.T) {
 	e, conn := setup(t)
 	for i := 0; i < 3; i++ {
-		if _, err := e.Execute(laghosQuery, session("all")); err != nil {
+		if _, err := e.Execute(context.Background(), laghosQuery, session("all")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -318,7 +319,7 @@ func TestParseModeErrors(t *testing.T) {
 		t.Error("default mode should be all")
 	}
 	e, _ := setup(t)
-	if _, err := e.Execute(laghosQuery, session("bogus")); err == nil {
+	if _, err := e.Execute(context.Background(), laghosQuery, session("bogus")); err == nil {
 		t.Error("bogus session mode accepted")
 	}
 }
@@ -326,7 +327,7 @@ func TestParseModeErrors(t *testing.T) {
 func TestBareLimitPushdown(t *testing.T) {
 	e, _ := setup(t)
 	q := "SELECT vertex_id, e FROM mesh WHERE x > 0.5 LIMIT 7"
-	res, err := e.Execute(q, session("all"))
+	res, err := e.Execute(context.Background(), q, session("all"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +348,7 @@ func TestBareLimitPushdown(t *testing.T) {
 		t.Errorf("storage returned %d rows, want ≤ 28", rows)
 	}
 	// Filter mode leaves the limit on the engine: same answer count.
-	res2, err := e.Execute(q, session("filter"))
+	res2, err := e.Execute(context.Background(), q, session("filter"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +367,7 @@ func TestAutoFallsBackAfterFailures(t *testing.T) {
 	if conn.Monitor().AdvisePushdown() {
 		t.Fatal("monitor should advise against pushdown")
 	}
-	res, err := e.Execute(laghosQuery, session("auto"))
+	res, err := e.Execute(context.Background(), laghosQuery, session("auto"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +375,7 @@ func TestAutoFallsBackAfterFailures(t *testing.T) {
 		t.Errorf("auto pushed %v despite failing history", res.Stats.PushedDown)
 	}
 	// Forced mode ignores the advice.
-	res, err = e.Execute(laghosQuery, session("all"))
+	res, err = e.Execute(context.Background(), laghosQuery, session("all"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package ocs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -10,9 +11,11 @@ import (
 	"prestocs/internal/exec"
 	"prestocs/internal/expr"
 	"prestocs/internal/metastore"
+	"prestocs/internal/objstore"
 	"prestocs/internal/ocsserver"
 	"prestocs/internal/parquetlite"
 	"prestocs/internal/plan"
+	"prestocs/internal/retry"
 	"prestocs/internal/substrait"
 	"prestocs/internal/types"
 )
@@ -67,15 +70,18 @@ func (c *Connector) PlanOptimizer() engine.ConnectorPlanOptimizer {
 // CreatePageSource implements engine.Connector: the paper's
 // PageSourceProvider. With a pushdown spec it reconstructs the extracted
 // operators as a Substrait plan, ships it to OCS over RPC and
-// deserializes the Arrow result; without one it falls back to a
-// whole-object GET with local scanning.
-func (c *Connector) CreatePageSource(handle plan.TableHandle, split engine.Split, stats *engine.ScanStats) (exec.Operator, error) {
+// deserializes the Arrow result; without one it uses the raw-scan path
+// (whole-object GET with local scanning). When pushdown execution fails
+// transiently even after the client's retries, the source degrades to
+// the raw-scan path too — the paper's no-pushdown configuration — and
+// records the fallback in the scan stats.
+func (c *Connector) CreatePageSource(ctx context.Context, handle plan.TableHandle, split engine.Split, stats *engine.ScanStats) (exec.Operator, error) {
 	h, ok := handle.(*Handle)
 	if !ok {
 		return nil, fmt.Errorf("ocs: foreign handle %T", handle)
 	}
 	if h.Push == nil || h.Push.Empty() {
-		return c.rawSource(h, split, stats)
+		return c.rawSource(ctx, h, split, stats)
 	}
 
 	// Translate the extracted operators into Substrait IR (timed for
@@ -96,30 +102,50 @@ func (c *Connector) CreatePageSource(handle plan.TableHandle, split engine.Split
 	// plus per-batch waits), so the Table 3 breakdown keeps its meaning
 	// under overlap.
 	start = time.Now()
-	rs, err := c.client.ExecuteStream(irPlan)
+	rs, err := c.client.ExecuteStream(ctx, irPlan)
 	if err != nil {
+		if retry.Transient(err) && ctx.Err() == nil {
+			return c.fallbackSource(ctx, h, split, stats, 0)
+		}
 		return nil, fmt.Errorf("ocs: executing pushdown for %s: %w", split.Object, err)
 	}
 	stats.AddTransfer(time.Since(start))
-	return &streamSource{rs: rs, schema: h.ScanSchema(), stats: stats, object: split.Object}, nil
+	return &streamSource{
+		ctx: ctx, conn: c, h: h, split: split,
+		rs: rs, schema: h.ScanSchema(), stats: stats, object: split.Object,
+	}, nil
 }
 
 // streamSource adapts an OCS result stream to an exec.Operator. It
 // accounts bytes moved, transfer-blocked time, deserialize work and
 // storage-side stats incrementally as chunks land, and implements Close
 // so the engine can release the stream when a pipeline stops early.
+// When the stream dies transiently mid-flight it degrades to the
+// raw-scan fallback, replaying the pushed operators locally and skipping
+// the rows already delivered (sound only while the pushed pipeline is
+// order-deterministic).
 type streamSource struct {
-	rs        *ocsserver.ResultStream
-	schema    *types.Schema
-	stats     *engine.ScanStats
-	object    string
-	prevBytes int64
-	done      bool
+	ctx   context.Context
+	conn  *Connector
+	h     *Handle
+	split engine.Split
+
+	rs            *ocsserver.ResultStream
+	schema        *types.Schema
+	stats         *engine.ScanStats
+	object        string
+	prevBytes     int64
+	rowsDelivered int64
+	fb            exec.Operator
+	done          bool
 }
 
 func (s *streamSource) Schema() *types.Schema { return s.schema }
 
 func (s *streamSource) Next() (*column.Page, error) {
+	if s.fb != nil {
+		return s.fb.Next()
+	}
 	if s.done {
 		return nil, nil
 	}
@@ -134,6 +160,10 @@ func (s *streamSource) Next() (*column.Page, error) {
 		return nil, nil
 	}
 	if err != nil {
+		if fb, ok := s.tryFallback(err); ok {
+			s.fb = fb
+			return s.fb.Next()
+		}
 		s.done = true
 		return nil, fmt.Errorf("ocs: pushdown stream for %s: %w", s.object, err)
 	}
@@ -147,9 +177,34 @@ func (s *streamSource) Next() (*column.Page, error) {
 	// parse cost).
 	rows := int64(page.NumRows())
 	stats.AddDeserialize(float64(rows)*float64(s.schema.Len())*1.5, rows)
+	s.rowsDelivered += rows
 	// Present pages under the handle's scan schema (names may differ in
 	// case only).
 	return &column.Page{Schema: s.schema, Vectors: page.Vectors}, nil
+}
+
+// tryFallback decides whether a mid-stream failure can be absorbed by
+// the raw-scan path. Requirements: the failure is transient (not a plan
+// error, not our own cancellation) and either no rows have been
+// delivered yet or the pushed pipeline is order-deterministic, so the
+// local replay can skip exactly the rows the engine already consumed.
+func (s *streamSource) tryFallback(cause error) (exec.Operator, bool) {
+	if s.ctx != nil && s.ctx.Err() != nil {
+		return nil, false
+	}
+	if !retry.Transient(cause) {
+		return nil, false
+	}
+	if s.rowsDelivered > 0 && !s.h.Push.OrderDeterministic() {
+		return nil, false
+	}
+	s.rs.Close()
+	s.done = true
+	fb, err := s.conn.fallbackSource(s.ctx, s.h, s.split, s.stats, s.rowsDelivered)
+	if err != nil {
+		return nil, false // surface the original stream error instead
+	}
+	return fb, true
 }
 
 func (s *streamSource) accountBytes() {
@@ -172,9 +227,9 @@ func (s *streamSource) Close() error {
 }
 
 // rawSource is the no-pushdown path: full object transfer, local scan.
-func (c *Connector) rawSource(h *Handle, split engine.Split, stats *engine.ScanStats) (exec.Operator, error) {
+func (c *Connector) rawSource(ctx context.Context, h *Handle, split engine.Split, stats *engine.ScanStats) (exec.Operator, error) {
 	start := time.Now()
-	data, work, err := c.client.Get(h.Table.Bucket, split.Object)
+	data, work, err := c.client.Get(ctx, h.Table.Bucket, split.Object)
 	if err != nil {
 		return nil, fmt.Errorf("ocs: get %s/%s: %w", h.Table.Bucket, split.Object, err)
 	}
@@ -206,6 +261,66 @@ func (c *Connector) rawSource(h *Handle, split engine.Split, stats *engine.ScanS
 		}
 		stats.AddDeserialize(float64(page.NumRows())*float64(len(cols))*1.5, int64(page.NumRows()))
 		return page, nil
+	}), nil
+}
+
+// fallbackSource is the graceful-degradation path: pushdown execution
+// failed after retries, so the connector fetches the whole object (the
+// GET path is served even when a node's computational unit is down) and
+// replays the pushed operators locally with the storage node's own
+// compiler (ocsserver.ExecuteLocalPool), producing bit-identical pages.
+// skipRows drops rows the dead stream already delivered; callers only
+// pass a nonzero skip when the pushed pipeline is order-deterministic.
+// The degradation is recorded in the scan stats so the overhead
+// breakdown still adds up: the full object counts as bytes moved, and
+// the local replay's CPU is charged as compute-side deserialize work.
+func (c *Connector) fallbackSource(ctx context.Context, h *Handle, split engine.Split, stats *engine.ScanStats, skipRows int64) (exec.Operator, error) {
+	start := time.Now()
+	data, work, err := c.client.Get(ctx, h.Table.Bucket, split.Object)
+	if err != nil {
+		return nil, fmt.Errorf("ocs: fallback get %s/%s: %w", h.Table.Bucket, split.Object, err)
+	}
+	stats.AddTransfer(time.Since(start))
+	stats.AddBytesMoved(int64(len(data)))
+	stats.AddStorageWork(work)
+	stats.AddFallback()
+
+	irPlan, err := BuildSubstrait(h, split.Object)
+	if err != nil {
+		return nil, err
+	}
+	local := objstore.NewStore()
+	local.Put(h.Table.Bucket, split.Object, data)
+	pages, localWork, err := ocsserver.ExecuteLocalPool(local, irPlan, 0)
+	if err != nil {
+		return nil, fmt.Errorf("ocs: fallback scan %s/%s: %w", h.Table.Bucket, split.Object, err)
+	}
+	// The replay runs on engine cores, not in storage: charge its CPU as
+	// compute-side work.
+	stats.AddDeserialize(localWork.CPUUnits, 0)
+
+	schema := h.ScanSchema()
+	idx := 0
+	return exec.NewFuncSource(schema, func() (*column.Page, error) {
+		for idx < len(pages) {
+			page := pages[idx]
+			idx++
+			rows := int64(page.NumRows())
+			if skipRows >= rows {
+				skipRows -= rows
+				continue
+			}
+			if skipRows > 0 {
+				page = page.Slice(int(skipRows), page.NumRows())
+				skipRows = 0
+			}
+			if page.NumCols() != schema.Len() {
+				return nil, fmt.Errorf("ocs: fallback result has %d columns, scan schema %s", page.NumCols(), schema)
+			}
+			stats.AddDeserialize(0, int64(page.NumRows()))
+			return &column.Page{Schema: schema, Vectors: page.Vectors}, nil
+		}
+		return nil, nil
 	}), nil
 }
 

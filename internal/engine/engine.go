@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -75,8 +76,15 @@ type Result struct {
 	Stats  *QueryStats
 }
 
-// Execute runs one SQL query under the session (nil for defaults).
-func (e *Engine) Execute(sql string, session *Session) (*Result, error) {
+// Execute runs one SQL query under the session (nil for defaults). The
+// context governs the whole query: cancelling it (or hitting its
+// deadline) stops the leaf-stage workers, closes every open page source
+// and returns promptly with the context's error. The deadline also
+// propagates to storage RPCs issued by connectors.
+func (e *Engine) Execute(ctx context.Context, sql string, session *Session) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if session == nil {
 		session = NewSession()
 	}
@@ -132,7 +140,7 @@ func (e *Engine) Execute(sql string, session *Session) (*Result, error) {
 		stats.UsedPushdown = len(stats.PushedDown) > 0
 	}
 	start = time.Now()
-	page, schema, err := e.run(optimized, scan, conn, stats)
+	page, schema, err := e.run(ctx, optimized, scan, conn, stats)
 	stats.Execution = time.Since(start)
 	stats.Total = time.Since(startTotal)
 
@@ -157,7 +165,7 @@ type PushdownReporter interface {
 
 // run executes the physical plan: leaf stage per split on the worker
 // pool, final stage on the coordinator, pipelined through a channel.
-func (e *Engine) run(root plan.Node, scan *plan.TableScan, conn Connector, stats *QueryStats) (*column.Page, *types.Schema, error) {
+func (e *Engine) run(ctx context.Context, root plan.Node, scan *plan.TableScan, conn Connector, stats *QueryStats) (*column.Page, *types.Schema, error) {
 	leafChain, finalChain, err := splitAtExchange(root)
 	if err != nil {
 		return nil, nil, err
@@ -210,7 +218,7 @@ func (e *Engine) run(root plan.Node, scan *plan.TableScan, conn Connector, stats
 			// sources that hold external resources (e.g. an open OCS
 			// result stream) even when the pipeline stops early.
 			runSplit := func(split Split) bool {
-				source, err := conn.CreatePageSource(scan.Handle, split, &stats.Scan)
+				source, err := conn.CreatePageSource(ctx, scan.Handle, split, &stats.Scan)
 				if err != nil {
 					fail(err)
 					return false
@@ -235,13 +243,23 @@ func (e *Engine) run(root plan.Node, scan *plan.TableScan, conn Connector, stats
 					if failed.Load() {
 						return false
 					}
-					pageCh <- page
+					select {
+					case pageCh <- page:
+					case <-ctx.Done():
+						fail(ctx.Err())
+						return false
+					}
 				}
 			}
 			for split := range splitCh {
-				// Fast-fail: once any worker errors, remaining splits are
-				// pointless work — the query is already doomed.
+				// Fast-fail: once any worker errors or the query context
+				// ends, remaining splits are pointless work — the query
+				// is already doomed.
 				if failed.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
 					return
 				}
 				if !runSplit(split) {

@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"time"
@@ -44,6 +45,10 @@ type ScanStats struct {
 	DeserializeUnits float64
 	// ResultRows is rows received from storage.
 	ResultRows int64
+	// FallbackSplits counts splits whose pushdown execution failed and
+	// that were served by the raw-scan fallback (the paper's no-pushdown
+	// configuration) instead.
+	FallbackSplits int64
 }
 
 // AddBytesMoved records network payload bytes.
@@ -82,6 +87,13 @@ func (s *ScanStats) AddDeserialize(units float64, rows int64) {
 	s.ResultRows += rows
 }
 
+// AddFallback records one split degraded to the raw-scan path.
+func (s *ScanStats) AddFallback() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.FallbackSplits++
+}
+
 // Snapshot returns a copy for reporting.
 func (s *ScanStats) Snapshot() ScanStats {
 	s.mu.Lock()
@@ -93,6 +105,7 @@ func (s *ScanStats) Snapshot() ScanStats {
 		Transfer:         s.Transfer,
 		DeserializeUnits: s.DeserializeUnits,
 		ResultRows:       s.ResultRows,
+		FallbackSplits:   s.FallbackSplits,
 	}
 }
 
@@ -135,8 +148,10 @@ type Connector interface {
 	PlanOptimizer() ConnectorPlanOptimizer
 	// CreatePageSource opens one split for reading. The returned
 	// operator yields pages in handle.ScanSchema() order; connector
-	// metrics go into stats.
-	CreatePageSource(handle plan.TableHandle, split Split, stats *ScanStats) (exec.Operator, error)
+	// metrics go into stats. The context covers the whole life of the
+	// source: cancelling it must make pending and future Next calls
+	// return promptly.
+	CreatePageSource(ctx context.Context, handle plan.TableHandle, split Split, stats *ScanStats) (exec.Operator, error)
 }
 
 // QueryStats is the engine's per-query report; the harness and Table 3

@@ -1,0 +1,180 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"prestocs/internal/rpc"
+)
+
+// echoServer starts an rpc server with an "echo" method and returns its
+// address.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	s := rpc.NewServer()
+	s.Register("echo", func(_ context.Context, p []byte) ([]byte, error) { return p, nil })
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return addr
+}
+
+func proxyFor(t *testing.T, target string) *Proxy {
+	t.Helper()
+	p, err := New(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestProxyPassesTrafficThrough(t *testing.T) {
+	p := proxyFor(t, echoServer(t))
+	c := rpc.Dial(p.Addr())
+	defer c.Close()
+	resp, err := c.Call(context.Background(), "echo", []byte("hello"))
+	if err != nil || string(resp) != "hello" {
+		t.Fatalf("proxied echo = %q, %v", resp, err)
+	}
+	if p.Accepted() != 1 {
+		t.Errorf("accepted = %d", p.Accepted())
+	}
+}
+
+func TestRefuseNewConnections(t *testing.T) {
+	p := proxyFor(t, echoServer(t))
+	p.SetRefuseNew(true)
+	c := rpc.Dial(p.Addr())
+	defer c.Close()
+	if _, err := c.Call(context.Background(), "echo", []byte("x")); err == nil {
+		t.Fatal("call through refusing proxy succeeded")
+	}
+	p.SetRefuseNew(false)
+	if _, err := c.Call(context.Background(), "echo", []byte("x")); err != nil {
+		t.Fatalf("call after un-refusing: %v", err)
+	}
+}
+
+func TestKillActiveSeversInFlight(t *testing.T) {
+	p := proxyFor(t, echoServer(t))
+	c := rpc.Dial(p.Addr())
+	defer c.Close()
+	if _, err := c.Call(context.Background(), "echo", []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	// The pooled connection is live inside the proxy; kill it.
+	p.KillActive()
+	if p.Killed() < 1 {
+		t.Errorf("killed = %d", p.Killed())
+	}
+	// The next call on the poisoned pooled conn fails, but a retry policy
+	// dialing fresh succeeds — exactly the transient shape retry exists for.
+	var lastErr error
+	ok := false
+	for i := 0; i < 3; i++ {
+		if _, lastErr = c.Call(context.Background(), "echo", []byte("again")); lastErr == nil {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatalf("echo never recovered after kill: %v", lastErr)
+	}
+}
+
+func TestKillOnceTripsOnceAtThreshold(t *testing.T) {
+	p := proxyFor(t, echoServer(t))
+	c := rpc.Dial(p.Addr())
+	defer c.Close()
+	// Any response crosses a 1-byte threshold; the first call dies.
+	p.KillOnce(1)
+	if _, err := c.Call(context.Background(), "echo", []byte("boom")); err == nil {
+		t.Fatal("call through armed KillOnce succeeded")
+	}
+	if p.Killed() != 1 {
+		t.Errorf("killed = %d", p.Killed())
+	}
+	// The trigger disarmed: fresh connections flow.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := c.Call(context.Background(), "echo", []byte("ok")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("traffic never recovered after one-shot kill")
+		}
+	}
+	if p.Killed() != 1 {
+		t.Errorf("one-shot kill fired %d times", p.Killed())
+	}
+}
+
+func TestBlackholeBlocksUntilDeadline(t *testing.T) {
+	p := proxyFor(t, echoServer(t))
+	c := rpc.Dial(p.Addr())
+	defer c.Close()
+	if _, err := c.Call(context.Background(), "echo", []byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	p.SetBlackhole(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Call(ctx, "echo", []byte("lost"))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("black-holed call error = %v", err)
+	}
+	if elapsed < 100*time.Millisecond || elapsed > 2*time.Second {
+		t.Errorf("black-holed call returned after %v, want ≈150ms", elapsed)
+	}
+	if idle := c.IdleConns(); idle != 0 {
+		t.Errorf("timed-out call must not pool its connection, idle=%d", idle)
+	}
+	p.SetBlackhole(false)
+	if _, err := c.Call(context.Background(), "echo", []byte("back")); err != nil {
+		t.Fatalf("call after un-black-holing: %v", err)
+	}
+}
+
+func TestDelaySlowsCalls(t *testing.T) {
+	p := proxyFor(t, echoServer(t))
+	c := rpc.Dial(p.Addr())
+	defer c.Close()
+	p.SetDelay(50 * time.Millisecond)
+	start := time.Now()
+	if _, err := c.Call(context.Background(), "echo", []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	// Request and response directions each pay the delay at least once.
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Errorf("delayed call took only %v", elapsed)
+	}
+}
+
+func TestProxyCloseSeversEverything(t *testing.T) {
+	p, err := New(echoServer(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rpc.Dial(p.Addr())
+	defer c.Close()
+	if _, err := c.Call(context.Background(), "echo", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ActiveConns() != 0 {
+		t.Errorf("active after close = %d", p.ActiveConns())
+	}
+	if _, err := c.Call(context.Background(), "echo", []byte("x")); err == nil {
+		t.Error("call through closed proxy succeeded")
+	}
+	p.Close() // idempotent
+}

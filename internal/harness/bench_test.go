@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -73,7 +74,7 @@ func BenchmarkStreamingVsBuffered(b *testing.B) {
 		b.Run("buffered", func(b *testing.B) {
 			// Full materialization before the first page is available.
 			for i := 0; i < b.N; i++ {
-				res, err := c.OCSCli.Execute(plan)
+				res, err := c.OCSCli.Execute(context.Background(), plan)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -84,7 +85,7 @@ func BenchmarkStreamingVsBuffered(b *testing.B) {
 		})
 		b.Run("streaming", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rs, err := c.OCSCli.ExecuteStream(plan)
+				rs, err := c.OCSCli.ExecuteStream(context.Background(), plan)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -123,7 +124,7 @@ func BenchmarkStreamingVsBuffered(b *testing.B) {
 		}
 		plan := substrait.NewPlan(scan)
 		for i := 0; i < b.N; i++ {
-			rs, err := c.OCSCli.ExecuteStream(plan)
+			rs, err := c.OCSCli.ExecuteStream(context.Background(), plan)
 			if err != nil {
 				b.Fatal(err)
 			}

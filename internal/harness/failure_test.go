@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -23,7 +24,7 @@ func TestCorruptObjectFailsQuery(t *testing.T) {
 	}
 	// Overwrite one object with garbage through the OCS frontend.
 	key := d.Table.Objects[2]
-	if err := c.OCSCli.Put(d.Table.Bucket, key, []byte("this is not a parquet file")); err != nil {
+	if err := c.OCSCli.Put(context.Background(), d.Table.Bucket, key, []byte("this is not a parquet file")); err != nil {
 		t.Fatal(err)
 	}
 	for _, mode := range []string{"none", "filter", "filter_project_agg"} {
@@ -42,7 +43,7 @@ func TestTruncatedObjectFailsQuery(t *testing.T) {
 	}
 	key := d.Table.Objects[0]
 	img := d.Objects[key]
-	if err := c.OCSCli.Put(d.Table.Bucket, key, img[:len(img)/2]); err != nil {
+	if err := c.OCSCli.Put(context.Background(), d.Table.Bucket, key, img[:len(img)/2]); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.Run("trunc", d.Query, engine.NewSession()); err == nil {
@@ -95,7 +96,7 @@ func TestSchemaDriftFailsQuery(t *testing.T) {
 	}
 	other := smallLaghos(t, compress.None)
 	// Replace a deepwater object with a laghos object (different schema).
-	if err := c.OCSCli.Put(d.Table.Bucket, d.Table.Objects[0], other.Objects[other.Table.Objects[0]]); err != nil {
+	if err := c.OCSCli.Put(context.Background(), d.Table.Bucket, d.Table.Objects[0], other.Objects[other.Table.Objects[0]]); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := c.Run("drift", d.Query, engine.NewSession()); err == nil {
@@ -127,11 +128,11 @@ func TestMultiNodeCluster(t *testing.T) {
 		t.Errorf("placement not spread: %d/3 nodes populated", populated)
 	}
 	// Full pushdown across nodes returns the same answer as none.
-	baseline, err := c.Engine.Execute(d.Query, engine.NewSession().Set(ocsconn.SessionPushdown, "none"))
+	baseline, err := c.Engine.Execute(context.Background(), d.Query, engine.NewSession().Set(ocsconn.SessionPushdown, "none"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := c.Engine.Execute(d.Query, engine.NewSession().Set(ocsconn.SessionPushdown, "all"))
+	full, err := c.Engine.Execute(context.Background(), d.Query, engine.NewSession().Set(ocsconn.SessionPushdown, "all"))
 	if err != nil {
 		t.Fatal(err)
 	}

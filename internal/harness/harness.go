@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -86,10 +87,11 @@ func (c *Cluster) Close() {
 // Load uploads a dataset to both storage systems and registers it under
 // both catalogs.
 func (c *Cluster) Load(d *workload.Dataset) error {
-	if err := d.UploadOCS(c.OCSCli); err != nil {
+	ctx := context.Background()
+	if err := d.UploadOCS(ctx, c.OCSCli); err != nil {
 		return err
 	}
-	if err := d.UploadObjStore(c.ObjCli); err != nil {
+	if err := d.UploadObjStore(ctx, c.ObjCli); err != nil {
 		return err
 	}
 	if err := d.Register(c.Meta, CatalogOCS); err != nil {
@@ -115,10 +117,17 @@ type Cell struct {
 	Stats *engine.QueryStats
 }
 
-// Run executes one query under a session and prices it.
+// Run executes one query under a session and prices it. It is a
+// convenience wrapper over RunCtx with a background context.
 func (c *Cluster) Run(label, query string, session *engine.Session) (*Cell, error) {
+	return c.RunCtx(context.Background(), label, query, session)
+}
+
+// RunCtx executes one query under a session and prices it, honoring ctx
+// for cancellation and deadlines.
+func (c *Cluster) RunCtx(ctx context.Context, label, query string, session *engine.Session) (*Cell, error) {
 	start := time.Now()
-	res, err := c.Engine.Execute(query, session)
+	res, err := c.Engine.Execute(ctx, query, session)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s: %w", label, err)
 	}

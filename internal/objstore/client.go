@@ -1,6 +1,7 @@
 package objstore
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"strings"
@@ -28,22 +29,22 @@ func (c *Client) Close() error { return c.rpc.Close() }
 func (c *Client) Meter() *rpc.Meter { return &c.rpc.Meter }
 
 // Put uploads an object.
-func (c *Client) Put(bucket, key string, data []byte) error {
+func (c *Client) Put(ctx context.Context, bucket, key string, data []byte) error {
 	e := protowire.NewEncoder()
 	e.String(1, bucket)
 	e.String(2, key)
 	e.Bytes(3, data)
-	_, err := c.rpc.Call(MethodPut, e.Encoded())
+	_, err := c.rpc.Call(ctx, MethodPut, e.Encoded())
 	return err
 }
 
 // Get downloads a whole object, returning the data and storage-side work
 // stats.
-func (c *Client) Get(bucket, key string) ([]byte, WorkStats, error) {
+func (c *Client) Get(ctx context.Context, bucket, key string) ([]byte, WorkStats, error) {
 	e := protowire.NewEncoder()
 	e.String(1, bucket)
 	e.String(2, key)
-	resp, err := c.rpc.Call(MethodGet, e.Encoded())
+	resp, err := c.rpc.Call(ctx, MethodGet, e.Encoded())
 	if err != nil {
 		return nil, WorkStats{}, err
 	}
@@ -51,20 +52,20 @@ func (c *Client) Get(bucket, key string) ([]byte, WorkStats, error) {
 }
 
 // Delete removes an object.
-func (c *Client) Delete(bucket, key string) error {
+func (c *Client) Delete(ctx context.Context, bucket, key string) error {
 	e := protowire.NewEncoder()
 	e.String(1, bucket)
 	e.String(2, key)
-	_, err := c.rpc.Call(MethodDelete, e.Encoded())
+	_, err := c.rpc.Call(ctx, MethodDelete, e.Encoded())
 	return err
 }
 
 // List returns sorted keys with the prefix.
-func (c *Client) List(bucket, prefix string) ([]string, error) {
+func (c *Client) List(ctx context.Context, bucket, prefix string) ([]string, error) {
 	e := protowire.NewEncoder()
 	e.String(1, bucket)
 	e.String(2, prefix)
-	resp, err := c.rpc.Call(MethodList, e.Encoded())
+	resp, err := c.rpc.Call(ctx, MethodList, e.Encoded())
 	if err != nil {
 		return nil, err
 	}
@@ -93,7 +94,7 @@ func (c *Client) List(bucket, prefix string) ([]string, error) {
 // Select runs the S3 Select-like path: project columns (by name; empty =
 // all) and filter by pred (ordinals over the object's full schema; nil =
 // no filter). It returns the raw CSV payload plus storage work stats.
-func (c *Client) Select(bucket, key string, columns []string, pred expr.Expr) ([]byte, WorkStats, error) {
+func (c *Client) Select(ctx context.Context, bucket, key string, columns []string, pred expr.Expr) ([]byte, WorkStats, error) {
 	e := protowire.NewEncoder()
 	e.String(1, bucket)
 	e.String(2, key)
@@ -105,7 +106,7 @@ func (c *Client) Select(bucket, key string, columns []string, pred expr.Expr) ([
 			return nil, WorkStats{}, err
 		}
 	}
-	resp, err := c.rpc.Call(MethodSelect, e.Encoded())
+	resp, err := c.rpc.Call(ctx, MethodSelect, e.Encoded())
 	if err != nil {
 		return nil, WorkStats{}, err
 	}

@@ -1,6 +1,7 @@
 package objstore
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -107,33 +108,33 @@ func startServer(t *testing.T) (*Server, *Client) {
 
 func TestClientPutGetListDelete(t *testing.T) {
 	_, cli := startServer(t)
-	if err := cli.Put("bkt", "obj1", []byte("hello")); err != nil {
+	if err := cli.Put(context.Background(), "bkt", "obj1", []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	if err := cli.Put("bkt", "obj2", []byte("world")); err != nil {
+	if err := cli.Put(context.Background(), "bkt", "obj2", []byte("world")); err != nil {
 		t.Fatal(err)
 	}
-	data, st, err := cli.Get("bkt", "obj1")
+	data, st, err := cli.Get(context.Background(), "bkt", "obj1")
 	if err != nil || string(data) != "hello" {
 		t.Fatalf("Get = %q, %v", data, err)
 	}
 	if st.BytesRead != 5 {
 		t.Errorf("get stats = %+v", st)
 	}
-	keys, err := cli.List("bkt", "obj")
+	keys, err := cli.List(context.Background(), "bkt", "obj")
 	if err != nil || len(keys) != 2 {
 		t.Errorf("List = %v, %v", keys, err)
 	}
-	if err := cli.Delete("bkt", "obj1"); err != nil {
+	if err := cli.Delete(context.Background(), "bkt", "obj1"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := cli.Get("bkt", "obj1"); err == nil {
+	if _, _, err := cli.Get(context.Background(), "bkt", "obj1"); err == nil {
 		t.Error("get of deleted object succeeded")
 	}
-	if err := cli.Put("", "", nil); err == nil {
+	if err := cli.Put(context.Background(), "", "", nil); err == nil {
 		t.Error("empty put accepted")
 	}
-	if _, err := cli.List("missing", ""); err == nil {
+	if _, err := cli.List(context.Background(), "missing", ""); err == nil {
 		t.Error("list of missing bucket accepted")
 	}
 	if cli.Meter().Calls() == 0 {
@@ -143,10 +144,10 @@ func TestClientPutGetListDelete(t *testing.T) {
 
 func TestSelectFullScan(t *testing.T) {
 	_, cli := startServer(t)
-	if err := cli.Put("data", "t.pql", tableObject(t, compress.None)); err != nil {
+	if err := cli.Put(context.Background(), "data", "t.pql", tableObject(t, compress.None)); err != nil {
 		t.Fatal(err)
 	}
-	csvData, st, err := cli.Select("data", "t.pql", nil, nil)
+	csvData, st, err := cli.Select(context.Background(), "data", "t.pql", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,12 +165,12 @@ func TestSelectFullScan(t *testing.T) {
 
 func TestSelectFilterAndProjection(t *testing.T) {
 	_, cli := startServer(t)
-	if err := cli.Put("data", "t.pql", tableObject(t, compress.Snappy)); err != nil {
+	if err := cli.Put(context.Background(), "data", "t.pql", tableObject(t, compress.Snappy)); err != nil {
 		t.Fatal(err)
 	}
 	// id >= 90 (full-schema ordinal 0).
 	pred, _ := expr.NewCompare(expr.Ge, expr.Col(0, "id", types.Int64), expr.Lit(types.IntValue(90)))
-	csvData, st, err := cli.Select("data", "t.pql", []string{"name", "id"}, pred)
+	csvData, st, err := cli.Select(context.Background(), "data", "t.pql", []string{"name", "id"}, pred)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,16 +198,16 @@ func TestSelectFilterAndProjection(t *testing.T) {
 
 func TestSelectProjectionReducesBytes(t *testing.T) {
 	_, cli := startServer(t)
-	if err := cli.Put("data", "t.pql", tableObject(t, compress.None)); err != nil {
+	if err := cli.Put(context.Background(), "data", "t.pql", tableObject(t, compress.None)); err != nil {
 		t.Fatal(err)
 	}
 	cli.Meter().Reset()
-	if _, _, err := cli.Select("data", "t.pql", []string{"id"}, nil); err != nil {
+	if _, _, err := cli.Select(context.Background(), "data", "t.pql", []string{"id"}, nil); err != nil {
 		t.Fatal(err)
 	}
 	projected := cli.Meter().Received()
 	cli.Meter().Reset()
-	if _, _, err := cli.Select("data", "t.pql", nil, nil); err != nil {
+	if _, _, err := cli.Select(context.Background(), "data", "t.pql", nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	full := cli.Meter().Received()
@@ -217,23 +218,23 @@ func TestSelectProjectionReducesBytes(t *testing.T) {
 
 func TestSelectErrors(t *testing.T) {
 	_, cli := startServer(t)
-	if err := cli.Put("data", "bad.pql", []byte("not a parquet file")); err != nil {
+	if err := cli.Put(context.Background(), "data", "bad.pql", []byte("not a parquet file")); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := cli.Select("data", "bad.pql", nil, nil); err == nil {
+	if _, _, err := cli.Select(context.Background(), "data", "bad.pql", nil, nil); err == nil {
 		t.Error("select over corrupt object succeeded")
 	}
-	if _, _, err := cli.Select("data", "missing.pql", nil, nil); err == nil {
+	if _, _, err := cli.Select(context.Background(), "data", "missing.pql", nil, nil); err == nil {
 		t.Error("select over missing object succeeded")
 	}
-	if err := cli.Put("data", "t.pql", tableObject(t, compress.None)); err != nil {
+	if err := cli.Put(context.Background(), "data", "t.pql", tableObject(t, compress.None)); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := cli.Select("data", "t.pql", []string{"nosuch"}, nil); err == nil {
+	if _, _, err := cli.Select(context.Background(), "data", "t.pql", []string{"nosuch"}, nil); err == nil {
 		t.Error("unknown column accepted")
 	}
 	badPred, _ := expr.NewCompare(expr.Gt, expr.Col(99, "zz", types.Int64), expr.Lit(types.IntValue(0)))
-	if _, _, err := cli.Select("data", "t.pql", nil, badPred); err == nil {
+	if _, _, err := cli.Select(context.Background(), "data", "t.pql", nil, badPred); err == nil {
 		t.Error("out-of-range predicate ordinal accepted")
 	}
 }
@@ -260,10 +261,10 @@ func TestSelectCSVStringQuoting(t *testing.T) {
 		t.Fatal(err)
 	}
 	_, cli := startServer(t)
-	if err := cli.Put("d", "q.pql", data); err != nil {
+	if err := cli.Put(context.Background(), "d", "q.pql", data); err != nil {
 		t.Fatal(err)
 	}
-	csvData, _, err := cli.Select("d", "q.pql", nil, nil)
+	csvData, _, err := cli.Select(context.Background(), "d", "q.pql", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,10 +287,10 @@ func TestSelectDoubleSupport(t *testing.T) {
 	p.AppendRow(types.FloatValue(3.141592653589793))
 	data, _ := parquetlite.WritePages(schema, parquetlite.WriterOptions{}, p)
 	_, cli := startServer(t)
-	if err := cli.Put("d", "f.pql", data); err != nil {
+	if err := cli.Put(context.Background(), "d", "f.pql", data); err != nil {
 		t.Fatal(err)
 	}
-	csvData, _, err := cli.Select("d", "f.pql", nil, nil)
+	csvData, _, err := cli.Select(context.Background(), "d", "f.pql", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

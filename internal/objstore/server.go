@@ -2,6 +2,7 @@ package objstore
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"fmt"
 
@@ -85,14 +86,14 @@ func decodeStats(d *protowire.Decoder) (WorkStats, error) {
 	return st, nil
 }
 
-func (s *Server) handleGet(payload []byte) ([]byte, error) {
+func (s *Server) handleGet(_ context.Context, payload []byte) ([]byte, error) {
 	bucket, key, err := decodeBucketKey(payload)
 	if err != nil {
 		return nil, err
 	}
 	data, err := s.store.Get(bucket, key)
 	if err != nil {
-		return nil, err
+		return nil, rpc.WithCode(err, rpc.CodeNotFound)
 	}
 	e := protowire.NewEncoder()
 	e.Bytes(1, data)
@@ -100,7 +101,7 @@ func (s *Server) handleGet(payload []byte) ([]byte, error) {
 	return e.Encoded(), nil
 }
 
-func (s *Server) handlePut(payload []byte) ([]byte, error) {
+func (s *Server) handlePut(_ context.Context, payload []byte) ([]byte, error) {
 	d := protowire.NewDecoder(payload)
 	var bucket, key string
 	var data []byte
@@ -130,7 +131,7 @@ func (s *Server) handlePut(payload []byte) ([]byte, error) {
 	return nil, nil
 }
 
-func (s *Server) handleList(payload []byte) ([]byte, error) {
+func (s *Server) handleList(_ context.Context, payload []byte) ([]byte, error) {
 	bucket, prefix, err := decodeBucketKey(payload)
 	if err != nil {
 		return nil, err
@@ -146,7 +147,7 @@ func (s *Server) handleList(payload []byte) ([]byte, error) {
 	return e.Encoded(), nil
 }
 
-func (s *Server) handleDelete(payload []byte) ([]byte, error) {
+func (s *Server) handleDelete(_ context.Context, payload []byte) ([]byte, error) {
 	bucket, key, err := decodeBucketKey(payload)
 	if err != nil {
 		return nil, err
@@ -181,7 +182,7 @@ func decodeBucketKey(payload []byte) (string, string, error) {
 // handleSelect implements the S3 Select-like path: WHERE + projection over
 // one parquetlite object, CSV out. Predicate column ordinals reference the
 // object's full schema.
-func (s *Server) handleSelect(payload []byte) ([]byte, error) {
+func (s *Server) handleSelect(_ context.Context, payload []byte) ([]byte, error) {
 	d := protowire.NewDecoder(payload)
 	var bucket, key string
 	var columns []string
@@ -215,7 +216,7 @@ func (s *Server) handleSelect(payload []byte) ([]byte, error) {
 	}
 	data, err := s.store.Get(bucket, key)
 	if err != nil {
-		return nil, err
+		return nil, rpc.WithCode(err, rpc.CodeNotFound)
 	}
 	r, err := parquetlite.NewReader(data)
 	if err != nil {

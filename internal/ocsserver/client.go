@@ -1,26 +1,63 @@
 package ocsserver
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"prestocs/internal/arrowlite"
 	"prestocs/internal/column"
 	"prestocs/internal/objstore"
 	"prestocs/internal/protowire"
+	"prestocs/internal/retry"
 	"prestocs/internal/rpc"
 	"prestocs/internal/substrait"
 	"prestocs/internal/types"
 )
 
 // Client is the application-side handle to an OCS frontend. The
-// Presto-OCS connector's PageSourceProvider holds one of these.
+// Presto-OCS connector's PageSourceProvider holds one of these. All
+// calls take a context: its deadline travels to the frontend (and on to
+// the storage node) in the RPC frame header, and cancelling it abandons
+// in-flight work and discards the connection. Transient failures —
+// unreachable frontend, connection killed before the first result chunk
+// — are retried under the client's retry policy.
 type Client struct {
-	rpc *rpc.Client
+	rpc       *rpc.Client
+	retry     retry.Policy
+	chunkRows int
 }
 
-// NewClient dials an OCS frontend.
-func NewClient(addr string) *Client { return &Client{rpc: rpc.Dial(addr)} }
+// Option configures a Client.
+type Option func(*Client)
+
+// WithDialTimeout bounds connection establishment to the frontend.
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *Client) { c.rpc.DialTimeout = d }
+}
+
+// WithRetryPolicy replaces the default transient-failure retry policy.
+// retry.None() disables retries.
+func WithRetryPolicy(p retry.Policy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithChunkRows asks storage nodes to coalesce result chunks to at least
+// n rows for this client's queries; 0 keeps the node's own default.
+func WithChunkRows(n int) Option {
+	return func(c *Client) { c.chunkRows = n }
+}
+
+// NewClient dials an OCS frontend. With no options it behaves like the
+// historical client plus a default retry policy.
+func NewClient(addr string, opts ...Option) *Client {
+	c := &Client{rpc: rpc.Dial(addr), retry: retry.Default()}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
 
 // Close releases connections.
 func (c *Client) Close() error { return c.rpc.Close() }
@@ -28,6 +65,59 @@ func (c *Client) Close() error { return c.rpc.Close() }
 // Meter exposes the transport meter; the harness reads it as compute ↔
 // OCS data movement.
 func (c *Client) Meter() *rpc.Meter { return &c.rpc.Meter }
+
+// IdleConns reports pooled connections; tests use it to check that
+// cancelled streams discard rather than pool their connection.
+func (c *Client) IdleConns() int { return c.rpc.IdleConns() }
+
+// Execute request envelope fields. They are disjoint from Plan's
+// top-level fields (1: version string, 2: root rel) so a bare marshalled
+// plan — the pre-envelope wire format — is still recognized and served.
+const (
+	execReqPlanField      = 7
+	execReqChunkRowsField = 8
+)
+
+// encodeExecuteRequest wraps a marshalled plan and the client's
+// chunk-rows preference into an ocs.Execute payload.
+func encodeExecuteRequest(planBytes []byte, chunkRows int) []byte {
+	e := protowire.NewEncoder()
+	e.Bytes(execReqPlanField, planBytes)
+	if chunkRows > 0 {
+		e.Int64(execReqChunkRowsField, int64(chunkRows))
+	}
+	return e.Encoded()
+}
+
+// decodeExecuteRequest splits an ocs.Execute payload into plan bytes and
+// the requested chunk rows. Payloads without the envelope field are
+// treated as a bare plan.
+func decodeExecuteRequest(payload []byte) (planBytes []byte, chunkRows int) {
+	d := protowire.NewDecoder(payload)
+	var plan []byte
+	var rows int64
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return payload, 0
+		}
+		switch f {
+		case execReqPlanField:
+			plan, err = d.Bytes()
+		case execReqChunkRowsField:
+			rows, err = d.Int64()
+		default:
+			err = d.Skip(ty)
+		}
+		if err != nil {
+			return payload, 0
+		}
+	}
+	if plan == nil {
+		return payload, 0
+	}
+	return plan, int(rows)
+}
 
 // Result is a decoded in-storage execution result.
 type Result struct {
@@ -52,31 +142,43 @@ type ResultStream struct {
 }
 
 // ExecuteStream marshals the plan, ships it to OCS and returns the result
-// stream. The caller must drain it to io.EOF or Close it.
-func (c *Client) ExecuteStream(plan *substrait.Plan) (*ResultStream, error) {
-	payload, err := substrait.Marshal(plan)
+// stream. The caller must drain it to io.EOF or Close it. Opening the
+// stream — up to and including the schema chunk — is retried on transient
+// failure; once the schema has landed, failures surface to the caller,
+// who decides between retry and fallback.
+func (c *Client) ExecuteStream(ctx context.Context, plan *substrait.Plan) (*ResultStream, error) {
+	planBytes, err := substrait.Marshal(plan)
 	if err != nil {
 		return nil, err
 	}
-	cs, err := c.rpc.Stream(MethodExecute, payload)
-	if err != nil {
-		return nil, err
-	}
-	// Chunk 0 is always the schema message.
-	first, err := cs.Recv()
-	if err != nil {
-		cs.Close()
-		if err == io.EOF {
-			return nil, fmt.Errorf("ocs: result stream ended before schema")
+	payload := encodeExecuteRequest(planBytes, c.chunkRows)
+	var rs *ResultStream
+	err = c.retry.Do(ctx, func() error {
+		cs, err := c.rpc.Stream(ctx, MethodExecute, payload)
+		if err != nil {
+			return err
 		}
-		return nil, err
-	}
-	schema, err := arrowlite.DecodeSchemaMsg(first)
+		// Chunk 0 is always the schema message.
+		first, err := cs.Recv()
+		if err != nil {
+			cs.Close()
+			if err == io.EOF {
+				return retry.Permanent(fmt.Errorf("ocs: result stream ended before schema"))
+			}
+			return err
+		}
+		schema, err := arrowlite.DecodeSchemaMsg(first)
+		if err != nil {
+			cs.Close()
+			return retry.Permanent(err)
+		}
+		rs = &ResultStream{cs: cs, schema: schema, bytes: int64(len(first))}
+		return nil
+	})
 	if err != nil {
-		cs.Close()
 		return nil, err
 	}
-	return &ResultStream{cs: cs, schema: schema, bytes: int64(len(first))}, nil
+	return rs, nil
 }
 
 // Schema returns the result schema (available immediately).
@@ -105,27 +207,44 @@ func (rs *ResultStream) Next() (*column.Page, error) {
 }
 
 func (rs *ResultStream) decodeTrailer() error {
-	d := protowire.NewDecoder(rs.cs.Trailer())
+	_, stats, err := decodeBytesStats(rs.cs.Trailer(), 0, 1)
+	if err != nil {
+		return err
+	}
+	rs.stats = stats
+	return nil
+}
+
+// decodeBytesStats decodes a protowire message holding an optional bytes
+// field and an optional WorkStats sub-message; the stream trailer and the
+// Get response share this shape (with different field numbers), so both
+// decode through here.
+func decodeBytesStats(payload []byte, dataField, statsField int) ([]byte, objstore.WorkStats, error) {
+	d := protowire.NewDecoder(payload)
+	var data []byte
+	var stats objstore.WorkStats
 	for !d.Done() {
 		f, ty, err := d.Next()
 		if err != nil {
-			return err
+			return nil, stats, err
 		}
 		switch f {
-		case 1:
+		case dataField:
+			data, err = d.Bytes()
+		case statsField:
 			var m *protowire.Decoder
 			m, err = d.Message()
 			if err == nil {
-				rs.stats, err = decodeWorkStats(m)
+				stats, err = decodeWorkStats(m)
 			}
 		default:
 			err = d.Skip(ty)
 		}
 		if err != nil {
-			return err
+			return nil, stats, err
 		}
 	}
-	return nil
+	return data, stats, nil
 }
 
 // Stats returns the storage-side work stats; final after Next returned
@@ -145,8 +264,8 @@ func (rs *ResultStream) Close() error {
 // Execute runs a plan and buffers the whole result, draining the stream.
 // Kept for callers that want the materialized form; the connector's page
 // source consumes ExecuteStream directly.
-func (c *Client) Execute(plan *substrait.Plan) (*Result, error) {
-	rs, err := c.ExecuteStream(plan)
+func (c *Client) Execute(ctx context.Context, plan *substrait.Plan) (*Result, error) {
+	rs, err := c.ExecuteStream(ctx, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -165,79 +284,77 @@ func (c *Client) Execute(plan *substrait.Plan) (*Result, error) {
 	return &Result{Schema: rs.Schema(), Pages: pages, Stats: rs.Stats(), ArrowBytes: rs.ArrowBytes()}, nil
 }
 
-// Put uploads an object through the frontend.
-func (c *Client) Put(bucket, key string, data []byte) error {
+// Put uploads an object through the frontend, retrying transient
+// transport failures.
+func (c *Client) Put(ctx context.Context, bucket, key string, data []byte) error {
 	e := protowire.NewEncoder()
 	e.String(1, bucket)
 	e.String(2, key)
 	e.Bytes(3, data)
-	_, err := c.rpc.Call(MethodPut, e.Encoded())
-	return err
+	payload := e.Encoded()
+	return c.retry.Do(ctx, func() error {
+		_, err := c.rpc.Call(ctx, MethodPut, payload)
+		return err
+	})
 }
 
 // Get downloads a whole object (the no-pushdown path).
-func (c *Client) Get(bucket, key string) ([]byte, objstore.WorkStats, error) {
+func (c *Client) Get(ctx context.Context, bucket, key string) ([]byte, objstore.WorkStats, error) {
 	e := protowire.NewEncoder()
 	e.String(1, bucket)
 	e.String(2, key)
-	resp, err := c.rpc.Call(MethodGet, e.Encoded())
-	if err != nil {
-		return nil, objstore.WorkStats{}, err
-	}
-	d := protowire.NewDecoder(resp)
+	payload := e.Encoded()
 	var data []byte
 	var stats objstore.WorkStats
-	for !d.Done() {
-		f, ty, err := d.Next()
+	err := c.retry.Do(ctx, func() error {
+		resp, err := c.rpc.Call(ctx, MethodGet, payload)
 		if err != nil {
-			return nil, stats, err
+			return err
 		}
-		switch f {
-		case 1:
-			data, err = d.Bytes()
-		case 2:
-			var m *protowire.Decoder
-			m, err = d.Message()
-			if err == nil {
-				stats, err = decodeWorkStats(m)
-			}
-		default:
-			err = d.Skip(ty)
-		}
-		if err != nil {
-			return nil, stats, err
-		}
+		data, stats, err = decodeBytesStats(resp, 1, 2)
+		return err
+	})
+	if err != nil {
+		return nil, stats, err
 	}
 	return data, stats, nil
 }
 
 // List returns all keys with the prefix across storage nodes.
-func (c *Client) List(bucket, prefix string) ([]string, error) {
+func (c *Client) List(ctx context.Context, bucket, prefix string) ([]string, error) {
 	e := protowire.NewEncoder()
 	e.String(1, bucket)
 	e.String(2, prefix)
-	resp, err := c.rpc.Call(MethodList, e.Encoded())
+	payload := e.Encoded()
+	var keys []string
+	err := c.retry.Do(ctx, func() error {
+		resp, err := c.rpc.Call(ctx, MethodList, payload)
+		if err != nil {
+			return err
+		}
+		keys = keys[:0]
+		d := protowire.NewDecoder(resp)
+		for !d.Done() {
+			f, ty, err := d.Next()
+			if err != nil {
+				return err
+			}
+			if f != 1 {
+				if err := d.Skip(ty); err != nil {
+					return err
+				}
+				continue
+			}
+			k, err := d.String()
+			if err != nil {
+				return err
+			}
+			keys = append(keys, k)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	d := protowire.NewDecoder(resp)
-	var keys []string
-	for !d.Done() {
-		f, ty, err := d.Next()
-		if err != nil {
-			return nil, err
-		}
-		if f != 1 {
-			if err := d.Skip(ty); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		k, err := d.String()
-		if err != nil {
-			return nil, err
-		}
-		keys = append(keys, k)
 	}
 	return keys, nil
 }

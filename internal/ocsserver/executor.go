@@ -17,6 +17,7 @@ import (
 	"prestocs/internal/expr"
 	"prestocs/internal/objstore"
 	"prestocs/internal/parquetlite"
+	"prestocs/internal/rpc"
 	"prestocs/internal/substrait"
 )
 
@@ -153,7 +154,7 @@ func compileRel(store *objstore.Store, rel substrait.Rel, env *execEnv) (exec.Op
 func compileRead(store *objstore.Store, read *substrait.ReadRel, pruneWith expr.Expr, env *execEnv) (exec.Operator, error) {
 	data, err := store.Get(read.Bucket, read.Object)
 	if err != nil {
-		return nil, err
+		return nil, rpc.WithCode(err, rpc.CodeNotFound)
 	}
 	r, err := parquetlite.NewReader(data)
 	if err != nil {

@@ -1,0 +1,207 @@
+package ocsserver
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"prestocs/internal/compress"
+	"prestocs/internal/faultnet"
+	"prestocs/internal/retry"
+	"prestocs/internal/rpc"
+)
+
+// proxiedCluster stands up a one-node cluster with a fault proxy between
+// the client and the frontend.
+func proxiedCluster(t *testing.T, opts ...Option) (*Cluster, *faultnet.Proxy, *Client) {
+	t.Helper()
+	cluster, err := StartCluster(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := faultnet.New(cluster.Addr)
+	if err != nil {
+		cluster.Shutdown()
+		t.Fatal(err)
+	}
+	cli := NewClient(proxy.Addr(), opts...)
+	t.Cleanup(func() {
+		cli.Close()
+		proxy.Close()
+		cluster.Shutdown()
+	})
+	return cluster, proxy, cli
+}
+
+func TestExecuteRetriesThroughKilledConnection(t *testing.T) {
+	_, proxy, cli := proxiedCluster(t)
+	ctx := context.Background()
+	if err := cli.Put(ctx, "b", "o", meshObject(t, compress.None)); err != nil {
+		t.Fatal(err)
+	}
+	// Arm a one-shot kill: the next Execute's first response bytes sever
+	// the connection before the schema lands, the retry dials fresh and
+	// the disarmed proxy lets it through.
+	proxy.KillOnce(1)
+	res, err := cli.Execute(ctx, filterPlan(t, "b", "o"))
+	if err != nil {
+		t.Fatalf("execute with one-shot kill = %v", err)
+	}
+	total := 0
+	for _, p := range res.Pages {
+		total += p.NumRows()
+	}
+	if total != 51 {
+		t.Errorf("rows after retry = %d", total)
+	}
+	if proxy.Killed() != 1 {
+		t.Errorf("killed = %d", proxy.Killed())
+	}
+}
+
+func TestExecuteWithoutRetryFailsOnKill(t *testing.T) {
+	_, proxy, cli := proxiedCluster(t, WithRetryPolicy(retry.None()))
+	ctx := context.Background()
+	if err := cli.Put(ctx, "b", "o", meshObject(t, compress.None)); err != nil {
+		t.Fatal(err)
+	}
+	proxy.KillOnce(1)
+	if _, err := cli.Execute(ctx, filterPlan(t, "b", "o")); err == nil {
+		t.Fatal("retry.None client survived a killed stream open")
+	}
+}
+
+func TestCancelMidStreamReleasesConnection(t *testing.T) {
+	// A node that emits two chunks then stalls until its context ends
+	// pins the stream genuinely mid-flight, so the cancel cannot race a
+	// fully buffered result.
+	addr := fakeNode(t, func(ctx context.Context, p []byte, send func([]byte) error) ([]byte, error) {
+		send(schemaMsg(t))
+		send(batchMsg(t, 3))
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	cli := frontendFor(t, addr)
+	qctx, cancel := context.WithCancel(context.Background())
+	rs, err := cli.ExecuteStream(qctx, filterPlan(t, "b", "o"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Next(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err = rs.Next()
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Next kept succeeding after cancel")
+		}
+	}
+	if err == io.EOF || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled stream error = %v", err)
+	}
+	rs.Close()
+	if idle := cli.IdleConns(); idle != 0 {
+		t.Errorf("cancelled stream pooled its connection, idle=%d", idle)
+	}
+}
+
+func TestDeadlineExceededThroughBlackhole(t *testing.T) {
+	_, proxy, cli := proxiedCluster(t)
+	ctx := context.Background()
+	if err := cli.Put(ctx, "b", "o", meshObject(t, compress.None)); err != nil {
+		t.Fatal(err)
+	}
+	proxy.SetBlackhole(true)
+	qctx, cancel := context.WithTimeout(ctx, 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cli.Execute(qctx, filterPlan(t, "b", "o"))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("black-holed execute error = %v", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("black-holed execute returned after %v", elapsed)
+	}
+	if idle := cli.IdleConns(); idle != 0 {
+		t.Errorf("timed-out execute pooled its connection, idle=%d", idle)
+	}
+}
+
+func TestExecuteFaultIsUnavailableButDataPathHealthy(t *testing.T) {
+	cluster, cli := startCluster(t, 1)
+	ctx := context.Background()
+	if err := cli.Put(ctx, "b", "o", meshObject(t, compress.None)); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Nodes[0].SetExecuteFault(errors.New("compute unit offline"))
+	_, err := cli.Execute(ctx, filterPlan(t, "b", "o"))
+	if !errors.Is(err, rpc.ErrUnavailable) {
+		t.Fatalf("faulted execute error = %v", err)
+	}
+	// The storage path is still healthy: the raw-scan fallback can GET.
+	data, _, err := cli.Get(ctx, "b", "o")
+	if err != nil || len(data) == 0 {
+		t.Fatalf("Get during execute fault = %d bytes, %v", len(data), err)
+	}
+	// Clearing the fault restores pushdown.
+	cluster.Nodes[0].SetExecuteFault(nil)
+	if _, err := cli.Execute(ctx, filterPlan(t, "b", "o")); err != nil {
+		t.Fatalf("execute after clearing fault = %v", err)
+	}
+}
+
+func TestFrontendRetriesNodeStreamOpen(t *testing.T) {
+	// Node behind a fault proxy; the frontend's fan-out retry re-opens the
+	// node stream when the first attempt dies before any chunk flows.
+	node := NewStorageNode(0)
+	nodeAddr, err := node.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	proxy, err := faultnet.New(nodeAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	front, err := NewFrontend([]string{proxy.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := front.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer front.Close()
+	cli := NewClient(addr, WithRetryPolicy(retry.None()))
+	defer cli.Close()
+
+	ctx := context.Background()
+	if err := cli.Put(ctx, "b", "o", meshObject(t, compress.None)); err != nil {
+		t.Fatal(err)
+	}
+	proxy.KillOnce(1)
+	// The client does not retry; recovery must come from the frontend.
+	res, err := cli.Execute(ctx, filterPlan(t, "b", "o"))
+	if err != nil {
+		t.Fatalf("execute with killed node conn = %v", err)
+	}
+	total := 0
+	for _, p := range res.Pages {
+		total += p.NumRows()
+	}
+	if total != 51 {
+		t.Errorf("rows = %d", total)
+	}
+	if proxy.Killed() != 1 {
+		t.Errorf("killed = %d", proxy.Killed())
+	}
+}

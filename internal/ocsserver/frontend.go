@@ -1,12 +1,14 @@
 package ocsserver
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"sync"
 
 	"prestocs/internal/protowire"
+	"prestocs/internal/retry"
 	"prestocs/internal/rpc"
 	"prestocs/internal/substrait"
 )
@@ -23,10 +25,16 @@ const (
 // which storage node holds the target object and forwards the plan for
 // in-storage execution; results stream back in Arrow format. It also
 // routes object management (PUT/GET/LIST) so applications see one
-// endpoint, as in the paper's hierarchical design.
+// endpoint, as in the paper's hierarchical design. Node calls inherit
+// the caller's context deadline and are retried on transient failure —
+// for Execute only until the first chunk has been forwarded, since the
+// client cannot be handed a restarted stream mid-flight.
 type Frontend struct {
 	rpc   *rpc.Server
 	nodes []*rpc.Client
+
+	// Retry governs node fan-out retries; set before Listen.
+	Retry retry.Policy
 
 	mu        sync.RWMutex
 	placement map[string]int // "bucket/key" -> node index
@@ -39,7 +47,7 @@ func NewFrontend(nodeAddrs []string) (*Frontend, error) {
 	if len(nodeAddrs) == 0 {
 		return nil, fmt.Errorf("ocs: frontend requires at least one storage node")
 	}
-	f := &Frontend{rpc: rpc.NewServer(), placement: make(map[string]int)}
+	f := &Frontend{rpc: rpc.NewServer(), placement: make(map[string]int), Retry: retry.Default()}
 	for _, addr := range nodeAddrs {
 		f.nodes = append(f.nodes, rpc.Dial(addr))
 	}
@@ -85,11 +93,15 @@ func (f *Frontend) recordPlacement(bucket, key string, node int) {
 // handleExecute validates the plan, routes it to the node holding the
 // object named by its ReadRel and proxies the node's result stream chunk
 // by chunk — the frontend never buffers more than one chunk, so bytes
-// reach the engine while the node is still scanning.
-func (f *Frontend) handleExecute(payload []byte, send func([]byte) error) ([]byte, error) {
-	plan, err := substrait.Unmarshal(payload)
+// reach the engine while the node is still scanning. Failures before the
+// first chunk reaches the client are retried; after that the stream
+// cannot be transparently restarted, so the error propagates and the
+// client (or the connector's fallback) takes over.
+func (f *Frontend) handleExecute(ctx context.Context, payload []byte, send func([]byte) error) ([]byte, error) {
+	planBytes, _ := decodeExecuteRequest(payload)
+	plan, err := substrait.Unmarshal(planBytes)
 	if err != nil {
-		return nil, fmt.Errorf("ocs: rejecting plan: %w", err)
+		return nil, rpc.WithCode(fmt.Errorf("ocs: rejecting plan: %w", err), rpc.CodeInvalid)
 	}
 	var read *substrait.ReadRel
 	substrait.WalkRels(plan.Root, func(r substrait.Rel) {
@@ -98,29 +110,45 @@ func (f *Frontend) handleExecute(payload []byte, send func([]byte) error) ([]byt
 		}
 	})
 	if read == nil {
-		return nil, fmt.Errorf("ocs: plan has no read relation")
+		return nil, rpc.WithCode(fmt.Errorf("ocs: plan has no read relation"), rpc.CodeInvalid)
 	}
 	node := f.nodeFor(read.Bucket, read.Object)
-	st, err := f.nodes[node].Stream(NodeMethodExecute, payload)
+	var trailer []byte
+	err = f.Retry.Do(ctx, func() error {
+		st, err := f.nodes[node].Stream(ctx, NodeMethodExecute, payload)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		forwarded := false
+		for {
+			chunk, err := st.Recv()
+			if err == io.EOF {
+				trailer = st.Trailer()
+				return nil
+			}
+			if err != nil {
+				if forwarded {
+					// The client has already seen part of this stream;
+					// restarting would duplicate chunks.
+					return retry.Permanent(err)
+				}
+				return err
+			}
+			if err := send(chunk); err != nil {
+				// Our own downstream died; nothing to retry.
+				return retry.Permanent(err)
+			}
+			forwarded = true
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer st.Close()
-	for {
-		chunk, err := st.Recv()
-		if err == io.EOF {
-			return st.Trailer(), nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		if err := send(chunk); err != nil {
-			return nil, err
-		}
-	}
+	return trailer, nil
 }
 
-func (f *Frontend) handlePut(payload []byte) ([]byte, error) {
+func (f *Frontend) handlePut(ctx context.Context, payload []byte) ([]byte, error) {
 	if len(f.nodes) == 0 {
 		return nil, fmt.Errorf("ocs: frontend has no storage nodes")
 	}
@@ -129,26 +157,42 @@ func (f *Frontend) handlePut(payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	node := f.nodeFor(bucket, key)
-	if _, err := f.nodes[node].Call(NodeMethodPut, payload); err != nil {
+	err = f.Retry.Do(ctx, func() error {
+		_, err := f.nodes[node].Call(ctx, NodeMethodPut, payload)
+		return err
+	})
+	if err != nil {
 		return nil, err
 	}
 	f.recordPlacement(bucket, key, node)
 	return nil, nil
 }
 
-func (f *Frontend) handleGet(payload []byte) ([]byte, error) {
+func (f *Frontend) handleGet(ctx context.Context, payload []byte) ([]byte, error) {
 	bucket, key, err := peekBucketKey(payload)
 	if err != nil {
 		return nil, err
 	}
-	return f.nodes[f.nodeFor(bucket, key)].Call(NodeMethodGet, payload)
+	node := f.nodeFor(bucket, key)
+	var resp []byte
+	err = f.Retry.Do(ctx, func() error {
+		var err error
+		resp, err = f.nodes[node].Call(ctx, NodeMethodGet, payload)
+		return err
+	})
+	return resp, err
 }
 
 // handleList merges listings from every node.
-func (f *Frontend) handleList(payload []byte) ([]byte, error) {
+func (f *Frontend) handleList(ctx context.Context, payload []byte) ([]byte, error) {
 	merged := map[string]bool{}
 	for _, n := range f.nodes {
-		resp, err := n.Call(NodeMethodList, payload)
+		var resp []byte
+		err := f.Retry.Do(ctx, func() error {
+			var err error
+			resp, err = n.Call(ctx, NodeMethodList, payload)
+			return err
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -205,11 +249,11 @@ func peekBucketKey(payload []byte) (string, string, error) {
 			err = d.Skip(ty)
 		}
 		if err != nil {
-			return "", "", err
+			return "", "", rpc.WithCode(err, rpc.CodeInvalid)
 		}
 	}
 	if bucket == "" || key == "" {
-		return "", "", fmt.Errorf("ocs: request requires bucket and key")
+		return "", "", rpc.WithCode(fmt.Errorf("ocs: request requires bucket and key"), rpc.CodeInvalid)
 	}
 	return bucket, key, nil
 }

@@ -1,7 +1,9 @@
 package ocsserver
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"prestocs/internal/arrowlite"
 	"prestocs/internal/column"
@@ -35,8 +37,29 @@ type StorageNode struct {
 	ScanPool int
 	// ChunkRows coalesces result pages until a stream chunk carries at
 	// least this many rows; 0 streams one Arrow batch per row group.
+	// Clients may override per query via the execute-request envelope.
 	// Set before the first query.
 	ChunkRows int
+
+	faultMu   sync.Mutex
+	execFault error
+}
+
+// SetExecuteFault injects err as the outcome of every subsequent Execute
+// call until cleared with nil. It simulates the computational unit of an
+// OCS node being down while the object path (Put/Get/List) stays healthy
+// — the degradation scenario where the engine must fall back to the
+// paper's no-pushdown configuration.
+func (n *StorageNode) SetExecuteFault(err error) {
+	n.faultMu.Lock()
+	n.execFault = err
+	n.faultMu.Unlock()
+}
+
+func (n *StorageNode) executeFault() error {
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	return n.execFault
 }
 
 // NewStorageNode creates a node with an empty store.
@@ -65,10 +88,17 @@ func (n *StorageNode) Close() error { return n.rpc.Close() }
 // so the engine consumes row group 1 while row group N is still being
 // scanned. Errors after the first chunk surface as mid-stream error
 // frames, which the client turns into query errors.
-func (n *StorageNode) handleExecute(payload []byte, send func([]byte) error) ([]byte, error) {
-	plan, err := substrait.Unmarshal(payload)
+func (n *StorageNode) handleExecute(ctx context.Context, payload []byte, send func([]byte) error) ([]byte, error) {
+	if fault := n.executeFault(); fault != nil {
+		return nil, rpc.WithCode(fmt.Errorf("node %d: %w", n.ID, fault), rpc.CodeUnavailable)
+	}
+	planBytes, chunkRows := decodeExecuteRequest(payload)
+	if chunkRows <= 0 {
+		chunkRows = n.ChunkRows
+	}
+	plan, err := substrait.Unmarshal(planBytes)
 	if err != nil {
-		return nil, fmt.Errorf("node %d: invalid plan: %w", n.ID, err)
+		return nil, rpc.WithCode(fmt.Errorf("node %d: invalid plan: %w", n.ID, err), rpc.CodeInvalid)
 	}
 	// Partial aggregation changes the output schema (it is still keys +
 	// one column per measure, same names/kinds for our function set), so
@@ -76,7 +106,7 @@ func (n *StorageNode) handleExecute(payload []byte, send func([]byte) error) ([]
 	// validated plan schema covers the zero-page case.
 	planSchema, err := plan.Validate()
 	if err != nil {
-		return nil, fmt.Errorf("node %d: %w", n.ID, err)
+		return nil, rpc.WithCode(fmt.Errorf("node %d: %w", n.ID, err), rpc.CodeInvalid)
 	}
 	env := newExecEnv(n.ScanPool)
 	defer env.close()
@@ -106,8 +136,13 @@ func (n *StorageNode) handleExecute(payload []byte, send func([]byte) error) ([]
 		return send(msg)
 	}
 
-	var staged *column.Page // coalescing buffer when ChunkRows > 0
+	var staged *column.Page // coalescing buffer when chunkRows > 0
 	for {
+		// A cancelled caller stops the scan between pages; the stream
+		// error frame carries the context verdict back.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("node %d: %w", n.ID, err)
+		}
 		page, err := op.Next()
 		if err != nil {
 			return nil, fmt.Errorf("node %d: %w", n.ID, err)
@@ -120,12 +155,12 @@ func (n *StorageNode) handleExecute(payload []byte, send func([]byte) error) ([]
 				return nil, err
 			}
 		}
-		if n.ChunkRows > 0 {
+		if chunkRows > 0 {
 			if staged == nil {
 				staged = column.NewPage(page.Schema)
 			}
 			staged.AppendPage(page)
-			if staged.NumRows() < n.ChunkRows {
+			if staged.NumRows() < chunkRows {
 				continue
 			}
 			page, staged = staged, nil
@@ -185,7 +220,7 @@ func decodeWorkStats(d *protowire.Decoder) (objstore.WorkStats, error) {
 	return st, nil
 }
 
-func (n *StorageNode) handlePut(payload []byte) ([]byte, error) {
+func (n *StorageNode) handlePut(_ context.Context, payload []byte) ([]byte, error) {
 	d := protowire.NewDecoder(payload)
 	var bucket, key string
 	var data []byte
@@ -215,7 +250,7 @@ func (n *StorageNode) handlePut(payload []byte) ([]byte, error) {
 	return nil, nil
 }
 
-func (n *StorageNode) handleGet(payload []byte) ([]byte, error) {
+func (n *StorageNode) handleGet(_ context.Context, payload []byte) ([]byte, error) {
 	d := protowire.NewDecoder(payload)
 	var bucket, key string
 	for !d.Done() {
@@ -237,7 +272,7 @@ func (n *StorageNode) handleGet(payload []byte) ([]byte, error) {
 	}
 	data, err := n.store.Get(bucket, key)
 	if err != nil {
-		return nil, err
+		return nil, rpc.WithCode(err, rpc.CodeNotFound)
 	}
 	e := protowire.NewEncoder()
 	e.Bytes(1, data)
@@ -245,7 +280,7 @@ func (n *StorageNode) handleGet(payload []byte) ([]byte, error) {
 	return e.Encoded(), nil
 }
 
-func (n *StorageNode) handleList(payload []byte) ([]byte, error) {
+func (n *StorageNode) handleList(_ context.Context, payload []byte) ([]byte, error) {
 	d := protowire.NewDecoder(payload)
 	var bucket, prefix string
 	for !d.Done() {

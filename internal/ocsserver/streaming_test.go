@@ -1,6 +1,7 @@
 package ocsserver
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -18,12 +19,12 @@ import (
 
 func TestExecuteStreamIncremental(t *testing.T) {
 	_, cli := startCluster(t, 1)
-	if err := cli.Put("b", "o", meshObject(t, compress.None)); err != nil {
+	if err := cli.Put(context.Background(), "b", "o", meshObject(t, compress.None)); err != nil {
 		t.Fatal(err)
 	}
 	// Full scan: 200 rows in 4 row groups of 64.
 	read := &substrait.ReadRel{Bucket: "b", Object: "o", BaseSchema: meshSchema()}
-	rs, err := cli.ExecuteStream(substrait.NewPlan(read))
+	rs, err := cli.ExecuteStream(context.Background(), substrait.NewPlan(read))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +60,11 @@ func TestExecuteStreamIncremental(t *testing.T) {
 func TestExecuteStreamChunkRowsCoalescing(t *testing.T) {
 	cluster, cli := startCluster(t, 1)
 	cluster.Nodes[0].ChunkRows = 1000 // larger than the object: one chunk
-	if err := cli.Put("b", "o", meshObject(t, compress.None)); err != nil {
+	if err := cli.Put(context.Background(), "b", "o", meshObject(t, compress.None)); err != nil {
 		t.Fatal(err)
 	}
 	read := &substrait.ReadRel{Bucket: "b", Object: "o", BaseSchema: meshSchema()}
-	rs, err := cli.ExecuteStream(substrait.NewPlan(read))
+	rs, err := cli.ExecuteStream(context.Background(), substrait.NewPlan(read))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,11 +88,11 @@ func TestExecuteStreamChunkRowsCoalescing(t *testing.T) {
 
 func TestExecuteStreamAbandonReleasesCleanly(t *testing.T) {
 	_, cli := startCluster(t, 1)
-	if err := cli.Put("b", "o", meshObject(t, compress.None)); err != nil {
+	if err := cli.Put(context.Background(), "b", "o", meshObject(t, compress.None)); err != nil {
 		t.Fatal(err)
 	}
 	read := &substrait.ReadRel{Bucket: "b", Object: "o", BaseSchema: meshSchema()}
-	rs, err := cli.ExecuteStream(substrait.NewPlan(read))
+	rs, err := cli.ExecuteStream(context.Background(), substrait.NewPlan(read))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestExecuteStreamAbandonReleasesCleanly(t *testing.T) {
 	}
 	rs.Close() // abandon after one page
 	// The client must remain usable on a fresh connection.
-	res, err := cli.Execute(filterPlan(t, "b", "o"))
+	res, err := cli.Execute(context.Background(), filterPlan(t, "b", "o"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,14 +179,14 @@ func batchMsg(t *testing.T, rows int) []byte {
 func TestStreamErrorFrameAfterBatches(t *testing.T) {
 	// The node streams a schema and two good batches, then fails: the
 	// query must surface the error, not hang or return a short result.
-	addr := fakeNode(t, func(p []byte, send func([]byte) error) ([]byte, error) {
+	addr := fakeNode(t, func(_ context.Context, p []byte, send func([]byte) error) ([]byte, error) {
 		send(schemaMsg(t))
 		send(batchMsg(t, 3))
 		send(batchMsg(t, 3))
 		return nil, fmt.Errorf("disk on fire")
 	})
 	cli := frontendFor(t, addr)
-	_, err := cli.Execute(filterPlan(t, "b", "o"))
+	_, err := cli.Execute(context.Background(), filterPlan(t, "b", "o"))
 	if err == nil || !strings.Contains(err.Error(), "disk on fire") {
 		t.Fatalf("mid-stream node failure = %v", err)
 	}
@@ -196,7 +197,7 @@ func TestStreamNodeDiesMidStream(t *testing.T) {
 	// (connection drops with no end frame). The client must get an error.
 	nodeSrv := rpc.NewServer()
 	proceed := make(chan struct{})
-	nodeSrv.RegisterStream(NodeMethodExecute, func(p []byte, send func([]byte) error) ([]byte, error) {
+	nodeSrv.RegisterStream(NodeMethodExecute, func(_ context.Context, p []byte, send func([]byte) error) ([]byte, error) {
 		send(schemaMsg(t))
 		send(batchMsg(t, 3))
 		<-proceed // hold the stream open until the server is torn down
@@ -207,7 +208,7 @@ func TestStreamNodeDiesMidStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	cli := frontendFor(t, addr)
-	rs, err := cli.ExecuteStream(filterPlan(t, "b", "o"))
+	rs, err := cli.ExecuteStream(context.Background(), filterPlan(t, "b", "o"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,12 +234,12 @@ func TestStreamNodeDiesMidStream(t *testing.T) {
 func TestStreamCorruptChunkPayload(t *testing.T) {
 	// A node that emits garbage instead of a schema message must produce
 	// a decode error at the client, not a hang.
-	addr := fakeNode(t, func(p []byte, send func([]byte) error) ([]byte, error) {
+	addr := fakeNode(t, func(_ context.Context, p []byte, send func([]byte) error) ([]byte, error) {
 		send([]byte{0xde, 0xad})
 		return nil, nil
 	})
 	cli := frontendFor(t, addr)
-	if _, err := cli.Execute(filterPlan(t, "b", "o")); err == nil {
+	if _, err := cli.Execute(context.Background(), filterPlan(t, "b", "o")); err == nil {
 		t.Fatal("corrupt schema chunk accepted")
 	}
 }
@@ -246,11 +247,11 @@ func TestStreamCorruptChunkPayload(t *testing.T) {
 func TestStreamEmptyStreamNoSchema(t *testing.T) {
 	// A node that ends the stream without any chunk violates the result
 	// protocol; the client must reject it.
-	addr := fakeNode(t, func(p []byte, send func([]byte) error) ([]byte, error) {
+	addr := fakeNode(t, func(_ context.Context, p []byte, send func([]byte) error) ([]byte, error) {
 		return nil, nil
 	})
 	cli := frontendFor(t, addr)
-	if _, err := cli.Execute(filterPlan(t, "b", "o")); err == nil {
+	if _, err := cli.Execute(context.Background(), filterPlan(t, "b", "o")); err == nil {
 		t.Fatal("schema-less stream accepted")
 	}
 }

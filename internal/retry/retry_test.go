@@ -1,0 +1,168 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"io"
+	"syscall"
+	"testing"
+	"time"
+
+	"prestocs/internal/rpc"
+)
+
+func TestDoSucceedsAfterTransientFailures(t *testing.T) {
+	p := Policy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	attempts := 0
+	err := p.Do(context.Background(), func() error {
+		attempts++
+		if attempts < 3 {
+			return &rpc.TransportError{Op: "recv", Err: io.EOF}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d", attempts)
+	}
+}
+
+func TestDoExhaustsBudget(t *testing.T) {
+	p := Policy{MaxAttempts: 3, BaseDelay: time.Millisecond}
+	attempts := 0
+	boom := &rpc.TransportError{Op: "dial", Err: syscall.ECONNREFUSED}
+	err := p.Do(context.Background(), func() error {
+		attempts++
+		return boom
+	})
+	if !errors.Is(err, rpc.ErrUnavailable) {
+		t.Fatalf("exhausted error = %v", err)
+	}
+	if attempts != 3 {
+		t.Errorf("attempts = %d", attempts)
+	}
+}
+
+func TestDoStopsOnNonTransient(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	attempts := 0
+	err := p.Do(context.Background(), func() error {
+		attempts++
+		return &rpc.RemoteError{Method: "Execute", Code: rpc.CodeInvalid, Message: "bad plan"}
+	})
+	if attempts != 1 {
+		t.Errorf("non-transient error retried: attempts = %d", attempts)
+	}
+	if !errors.Is(err, rpc.ErrInvalid) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestDoPermanentUnwraps(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	inner := errors.New("short stream")
+	attempts := 0
+	err := p.Do(context.Background(), func() error {
+		attempts++
+		return Permanent(inner)
+	})
+	if attempts != 1 {
+		t.Errorf("Permanent retried: attempts = %d", attempts)
+	}
+	if err != inner {
+		t.Errorf("Permanent must return the inner error, got %v", err)
+	}
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) must be nil")
+	}
+}
+
+func TestDoContextCancelDuringBackoff(t *testing.T) {
+	p := Policy{MaxAttempts: 10, BaseDelay: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := p.Do(ctx, func() error {
+		return &rpc.TransportError{Op: "recv", Err: io.ErrUnexpectedEOF}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("backoff sleep was not interrupted by cancel")
+	}
+}
+
+func TestDoPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	err := Default().Do(ctx, func() error { called = true; return nil })
+	if !errors.Is(err, context.Canceled) || called {
+		t.Errorf("err = %v, called = %v", err, called)
+	}
+}
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{MaxAttempts: 10, BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := p.Delay(i); got != w*time.Millisecond {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayJitterBounded(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.5}
+	for i := 0; i < 200; i++ {
+		d := p.Delay(0)
+		if d < 50*time.Millisecond || d > 150*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [50ms, 150ms]", d)
+		}
+	}
+}
+
+func TestNonePolicySingleAttempt(t *testing.T) {
+	attempts := 0
+	None().Do(context.Background(), func() error {
+		attempts++
+		return &rpc.TransportError{Op: "recv", Err: io.EOF}
+	})
+	if attempts != 1 {
+		t.Errorf("None retried: attempts = %d", attempts)
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"canceled", context.Canceled, false},
+		{"deadline", context.DeadlineExceeded, false},
+		{"shutdown", rpc.ErrShutdown, false},
+		{"transport", &rpc.TransportError{Op: "recv", Err: io.EOF}, true},
+		{"remote-unavailable", &rpc.RemoteError{Code: rpc.CodeUnavailable}, true},
+		{"remote-invalid", &rpc.RemoteError{Code: rpc.CodeInvalid}, false},
+		{"remote-notfound", &rpc.RemoteError{Code: rpc.CodeNotFound}, false},
+		{"remote-unknown", &rpc.RemoteError{Code: rpc.CodeUnknown}, false},
+		{"eof", io.EOF, true},
+		{"unexpected-eof", io.ErrUnexpectedEOF, true},
+		{"econnrefused", syscall.ECONNREFUSED, true},
+		{"econnreset", syscall.ECONNRESET, true},
+		{"plain", errors.New("whatever"), false},
+	}
+	for _, tc := range cases {
+		if got := Transient(tc.err); got != tc.want {
+			t.Errorf("Transient(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -8,18 +8,28 @@
 //
 //	u32 frameLen | u8 kind | u32 methodLen | method | payload
 //
-// kind 0 = request, 1 = response-ok, 2 = response-error (payload is the
-// error message), 3 = stream-chunk, 4 = stream-end (payload is the
-// stream trailer). Responses echo an empty method name. A unary call is
-// one request frame answered by one ok/error frame; a streaming call is
-// one request frame answered by any number of chunk frames terminated by
-// an end frame — or by an error frame, which is valid mid-stream and
-// aborts the stream. A single TCP connection carries sequential calls;
-// the client pools connections for concurrency. Every frame is metered
+// kind 0 = request, 1 = response-ok, 2 = response-error (payload is one
+// code byte followed by the error message), 3 = stream-chunk, 4 =
+// stream-end (payload is the stream trailer). A request payload begins
+// with a u64 deadline (unix microseconds, 0 = none) that the server
+// turns into the handler's context deadline; the caller's payload
+// follows. Responses echo an empty method name. A unary call is one
+// request frame answered by one ok/error frame; a streaming call is one
+// request frame answered by any number of chunk frames terminated by an
+// end frame — or by an error frame, which is valid mid-stream and aborts
+// the stream. A single TCP connection carries sequential calls; the
+// client pools connections for concurrency. Every frame is metered
 // individually, so the harness sees streamed bytes as they flow.
+//
+// Cancellation: Call and Stream take a context. While a call is in
+// flight a watchdog goroutine waits on ctx.Done and poisons the
+// connection deadline, waking any blocked read/write; the connection is
+// then discarded instead of pooled, so a cancelled call can never leak a
+// half-drained stream back into the pool.
 package rpc
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -27,6 +37,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 const (
@@ -36,23 +47,19 @@ const (
 	frameChunk    = 3
 	frameEnd      = 4
 	maxFrameBytes = 1 << 30
+
+	// deadlineSize prefixes every request payload: u64 unix-micro
+	// deadline, 0 meaning none.
+	deadlineSize = 8
 )
 
 // ErrShutdown reports use of a closed client or server.
 var ErrShutdown = errors.New("rpc: connection shut down")
 
-// RemoteError wraps an error string returned by the server.
-type RemoteError struct {
-	Method  string
-	Message string
-}
-
-func (e *RemoteError) Error() string {
-	return fmt.Sprintf("rpc: remote error from %s: %s", e.Method, e.Message)
-}
-
 // Handler processes one request payload and returns the response payload.
-type Handler func(payload []byte) ([]byte, error)
+// The context carries the caller's deadline (propagated in the frame
+// header) and is cancelled when the server shuts down.
+type Handler func(ctx context.Context, payload []byte) ([]byte, error)
 
 // Meter accumulates transport byte counts. Both client and server update
 // their own meters; the harness reads the client side as "data movement".
@@ -93,6 +100,32 @@ func writeFrame(w io.Writer, kind byte, method string, payload []byte) (int64, e
 	return int64(4 + frameLen), nil
 }
 
+// writeRequest sends a request frame whose payload is prefixed with the
+// caller's deadline so the server can honor it on its side of the wire.
+func writeRequest(w io.Writer, method string, deadline time.Time, payload []byte) (int64, error) {
+	body := make([]byte, 0, deadlineSize+len(payload))
+	var micros uint64
+	if !deadline.IsZero() {
+		micros = uint64(deadline.UnixMicro())
+	}
+	body = binary.LittleEndian.AppendUint64(body, micros)
+	body = append(body, payload...)
+	return writeFrame(w, frameRequest, method, body)
+}
+
+// splitRequest strips the deadline prefix from a request payload.
+func splitRequest(payload []byte) (time.Time, []byte, error) {
+	if len(payload) < deadlineSize {
+		return time.Time{}, nil, fmt.Errorf("rpc: request frame missing deadline header")
+	}
+	micros := binary.LittleEndian.Uint64(payload[:deadlineSize])
+	var deadline time.Time
+	if micros != 0 {
+		deadline = time.UnixMicro(int64(micros))
+	}
+	return deadline, payload[deadlineSize:], nil
+}
+
 func readFrame(r io.Reader) (kind byte, method string, payload []byte, total int64, err error) {
 	var lenBuf [4]byte
 	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
@@ -127,16 +160,22 @@ type Server struct {
 	wg       sync.WaitGroup
 	closed   atomic.Bool
 
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
 	connMu sync.Mutex
 	conns  map[net.Conn]bool
 }
 
 // NewServer returns an empty server.
 func NewServer() *Server {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		handlers: make(map[string]Handler),
-		streams:  make(map[string]StreamHandler),
-		conns:    make(map[net.Conn]bool),
+		handlers:   make(map[string]Handler),
+		streams:    make(map[string]StreamHandler),
+		conns:      make(map[net.Conn]bool),
+		baseCtx:    ctx,
+		baseCancel: cancel,
 	}
 }
 
@@ -190,6 +229,15 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// requestContext derives the handler context from the server lifetime
+// and the deadline carried in the request frame.
+func (s *Server) requestContext(deadline time.Time) (context.Context, context.CancelFunc) {
+	if !deadline.IsZero() {
+		return context.WithDeadline(s.baseCtx, deadline)
+	}
+	return context.WithCancel(s.baseCtx)
+}
+
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	if !s.trackConn(conn, true) {
@@ -205,12 +253,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		if kind != frameRequest {
 			return
 		}
+		deadline, body, err := splitRequest(payload)
+		if err != nil {
+			return
+		}
 		s.mu.RLock()
 		h, ok := s.handlers[method]
 		sh, sok := s.streams[method]
 		s.mu.RUnlock()
+		ctx, cancel := s.requestContext(deadline)
 		if sok {
-			if !s.serveStream(conn, sh, payload) {
+			usable := s.serveStream(ctx, conn, sh, body)
+			cancel()
+			if !usable {
 				return
 			}
 			continue
@@ -219,14 +274,15 @@ func (s *Server) serveConn(conn net.Conn) {
 		var resp []byte
 		if !ok {
 			respKind = frameError
-			resp = []byte(fmt.Sprintf("unknown method %q", method))
-		} else if out, herr := h(payload); herr != nil {
+			resp = errorPayload(WithCode(fmt.Errorf("unknown method %q", method), CodeNotFound))
+		} else if out, herr := h(ctx, body); herr != nil {
 			respKind = frameError
-			resp = []byte(herr.Error())
+			resp = errorPayload(herr)
 		} else {
 			respKind = frameOK
 			resp = out
 		}
+		cancel()
 		sent, err := writeFrame(conn, respKind, "", resp)
 		if err != nil {
 			return
@@ -236,13 +292,15 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Close stops the listener, tears down open connections (including idle
-// pooled ones that would otherwise block in a read forever) and waits
-// for serving goroutines to exit.
+// Close stops the listener, cancels all in-flight handler contexts,
+// tears down open connections (including idle pooled ones that would
+// otherwise block in a read forever) and waits for serving goroutines to
+// exit.
 func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	s.baseCancel()
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
@@ -260,6 +318,10 @@ func (s *Server) Close() error {
 type Client struct {
 	Meter Meter
 
+	// DialTimeout bounds connection establishment; zero means the
+	// context deadline (if any) is the only bound.
+	DialTimeout time.Duration
+
 	addr   string
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -272,7 +334,10 @@ func Dial(addr string) *Client {
 	return &Client{addr: addr}
 }
 
-func (c *Client) getConn() (net.Conn, error) {
+// Addr returns the address this client dials.
+func (c *Client) Addr() string { return c.addr }
+
+func (c *Client) getConn(ctx context.Context) (net.Conn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -285,7 +350,19 @@ func (c *Client) getConn() (net.Conn, error) {
 		return conn, nil
 	}
 	c.mu.Unlock()
-	return net.Dial("tcp", c.addr)
+	d := net.Dialer{Timeout: c.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("rpc: dial %s: %w", c.addr, ctxErr)
+		}
+		return nil, &TransportError{Op: "dial", Err: err}
+	}
+	// A pooled conn may carry a poisoned deadline from a cancelled call;
+	// fresh conns are clean, and reused ones are discarded on cancel, so
+	// clearing here keeps the invariant explicit.
+	conn.SetDeadline(time.Time{})
+	return conn, nil
 }
 
 func (c *Client) putConn(conn net.Conn) {
@@ -298,31 +375,97 @@ func (c *Client) putConn(conn net.Conn) {
 	c.idle = append(c.idle, conn)
 }
 
-// Call performs one unary RPC.
-func (c *Client) Call(method string, payload []byte) ([]byte, error) {
-	conn, err := c.getConn()
+// IdleConns reports the number of pooled connections; tests use it to
+// verify that cancelled calls discard rather than pool their connection.
+func (c *Client) IdleConns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.idle)
+}
+
+// watchConn arms a watchdog that poisons conn's deadline when ctx is
+// cancelled, waking any blocked read or write. The returned stop
+// function disarms the watchdog (idempotent) and reports ctx's error so
+// the caller knows whether the connection may have been poisoned.
+func watchConn(ctx context.Context, conn net.Conn) func() error {
+	done := ctx.Done()
+	if done == nil {
+		return func() error { return nil }
+	}
+	stop := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		select {
+		case <-done:
+			// A deadline in the past fails all pending and future I/O
+			// on the conn immediately.
+			conn.SetDeadline(time.Unix(1, 0))
+		case <-stop:
+		}
+	}()
+	var once sync.Once
+	return func() error {
+		once.Do(func() {
+			close(stop)
+			<-finished
+		})
+		return ctx.Err()
+	}
+}
+
+// callError maps an I/O failure to either the context's error (when the
+// watchdog fired) or a TransportError.
+func callError(ctx context.Context, method, op string, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("rpc: %s %s: %w", op, method, ctxErr)
+	}
+	return &TransportError{Method: method, Op: op, Err: err}
+}
+
+// Call performs one unary RPC, honoring ctx for dialing, sending and
+// awaiting the response. The ctx deadline travels in the frame header so
+// the server bounds its handler with the same deadline.
+func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	conn, err := c.getConn(ctx)
 	if err != nil {
 		return nil, err
 	}
-	sent, err := writeFrame(conn, frameRequest, method, payload)
+	release := watchConn(ctx, conn)
+	deadline, _ := ctx.Deadline()
+	sent, err := writeRequest(conn, method, deadline, payload)
 	if err != nil {
+		release()
 		conn.Close()
-		return nil, fmt.Errorf("rpc: sending %s: %w", method, err)
+		return nil, callError(ctx, method, "send", err)
 	}
 	c.Meter.sent.Add(sent)
 	kind, _, resp, n, err := readFrame(conn)
 	if err != nil {
+		release()
 		conn.Close()
-		return nil, fmt.Errorf("rpc: receiving %s response: %w", method, err)
+		return nil, callError(ctx, method, "recv", err)
 	}
 	c.Meter.received.Add(n)
 	c.Meter.calls.Add(1)
-	c.putConn(conn)
+	if release() != nil {
+		// The watchdog may have poisoned the deadline after the response
+		// landed; the response is good but the conn is not poolable.
+		conn.Close()
+	} else {
+		c.putConn(conn)
+	}
 	switch kind {
 	case frameOK:
 		return resp, nil
 	case frameError:
-		return nil, &RemoteError{Method: method, Message: string(resp)}
+		return nil, decodeRemoteError(method, resp)
 	default:
 		return nil, fmt.Errorf("rpc: unexpected frame kind %d", kind)
 	}

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -11,9 +12,9 @@ import (
 func startEcho(t *testing.T) (*Server, *Client) {
 	t.Helper()
 	s := NewServer()
-	s.Register("echo", func(p []byte) ([]byte, error) { return p, nil })
-	s.Register("fail", func(p []byte) ([]byte, error) { return nil, errors.New("boom") })
-	s.Register("double", func(p []byte) ([]byte, error) { return append(p, p...), nil })
+	s.Register("echo", func(_ context.Context, p []byte) ([]byte, error) { return p, nil })
+	s.Register("fail", func(_ context.Context, p []byte) ([]byte, error) { return nil, errors.New("boom") })
+	s.Register("double", func(_ context.Context, p []byte) ([]byte, error) { return append(p, p...), nil })
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -28,14 +29,14 @@ func startEcho(t *testing.T) (*Server, *Client) {
 
 func TestUnaryCall(t *testing.T) {
 	_, c := startEcho(t)
-	resp, err := c.Call("echo", []byte("hello"))
+	resp, err := c.Call(context.Background(), "echo", []byte("hello"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(resp) != "hello" {
 		t.Errorf("resp = %q", resp)
 	}
-	resp, err = c.Call("double", []byte("ab"))
+	resp, err = c.Call(context.Background(), "double", []byte("ab"))
 	if err != nil || string(resp) != "abab" {
 		t.Errorf("double = %q, %v", resp, err)
 	}
@@ -43,7 +44,7 @@ func TestUnaryCall(t *testing.T) {
 
 func TestEmptyPayload(t *testing.T) {
 	_, c := startEcho(t)
-	resp, err := c.Call("echo", nil)
+	resp, err := c.Call(context.Background(), "echo", nil)
 	if err != nil || len(resp) != 0 {
 		t.Errorf("empty echo = %v, %v", resp, err)
 	}
@@ -52,7 +53,7 @@ func TestEmptyPayload(t *testing.T) {
 func TestLargePayload(t *testing.T) {
 	_, c := startEcho(t)
 	big := bytes.Repeat([]byte{0xAB}, 4<<20)
-	resp, err := c.Call("echo", big)
+	resp, err := c.Call(context.Background(), "echo", big)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestLargePayload(t *testing.T) {
 
 func TestRemoteError(t *testing.T) {
 	_, c := startEcho(t)
-	_, err := c.Call("fail", []byte("x"))
+	_, err := c.Call(context.Background(), "fail", []byte("x"))
 	var re *RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("error type = %T (%v)", err, err)
@@ -78,7 +79,7 @@ func TestRemoteError(t *testing.T) {
 
 func TestUnknownMethod(t *testing.T) {
 	_, c := startEcho(t)
-	_, err := c.Call("nope", nil)
+	_, err := c.Call(context.Background(), "nope", nil)
 	var re *RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("unknown method error = %v", err)
@@ -94,7 +95,7 @@ func TestConcurrentCalls(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			msg := []byte(fmt.Sprintf("msg-%d", i))
-			resp, err := c.Call("echo", msg)
+			resp, err := c.Call(context.Background(), "echo", msg)
 			if err != nil {
 				errs <- err
 				return
@@ -115,7 +116,7 @@ func TestMeters(t *testing.T) {
 	s, c := startEcho(t)
 	c.Meter.Reset()
 	payload := bytes.Repeat([]byte{1}, 1000)
-	if _, err := c.Call("echo", payload); err != nil {
+	if _, err := c.Call(context.Background(), "echo", payload); err != nil {
 		t.Fatal(err)
 	}
 	if c.Meter.Sent() < 1000 || c.Meter.Received() < 1000 {
@@ -135,11 +136,11 @@ func TestMeters(t *testing.T) {
 
 func TestClientAfterClose(t *testing.T) {
 	_, c := startEcho(t)
-	if _, err := c.Call("echo", []byte("x")); err != nil {
+	if _, err := c.Call(context.Background(), "echo", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	c.Close()
-	if _, err := c.Call("echo", []byte("x")); !errors.Is(err, ErrShutdown) {
+	if _, err := c.Call(context.Background(), "echo", []byte("x")); !errors.Is(err, ErrShutdown) {
 		t.Errorf("call after close = %v", err)
 	}
 }
@@ -159,7 +160,7 @@ func TestServerCloseIdempotent(t *testing.T) {
 
 func TestDialBadAddress(t *testing.T) {
 	c := Dial("127.0.0.1:1") // nothing listens on port 1
-	if _, err := c.Call("echo", nil); err == nil {
+	if _, err := c.Call(context.Background(), "echo", nil); err == nil {
 		t.Error("call to dead address succeeded")
 	}
 }
@@ -167,7 +168,7 @@ func TestDialBadAddress(t *testing.T) {
 func TestConnectionReuse(t *testing.T) {
 	_, c := startEcho(t)
 	for i := 0; i < 10; i++ {
-		if _, err := c.Call("echo", []byte("x")); err != nil {
+		if _, err := c.Call(context.Background(), "echo", []byte("x")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -186,10 +187,10 @@ func TestRegisterAfterListen(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	s.Register("late", func(p []byte) ([]byte, error) { return []byte("ok"), nil })
+	s.Register("late", func(_ context.Context, p []byte) ([]byte, error) { return []byte("ok"), nil })
 	c := Dial(addr)
 	defer c.Close()
-	resp, err := c.Call("late", nil)
+	resp, err := c.Call(context.Background(), "late", nil)
 	if err != nil || string(resp) != "ok" {
 		t.Errorf("late-registered method: %q, %v", resp, err)
 	}
@@ -197,7 +198,7 @@ func TestRegisterAfterListen(t *testing.T) {
 
 func BenchmarkUnaryCall(b *testing.B) {
 	s := NewServer()
-	s.Register("echo", func(p []byte) ([]byte, error) { return p, nil })
+	s.Register("echo", func(_ context.Context, p []byte) ([]byte, error) { return p, nil })
 	addr, _ := s.Listen("127.0.0.1:0")
 	defer s.Close()
 	c := Dial(addr)
@@ -206,7 +207,7 @@ func BenchmarkUnaryCall(b *testing.B) {
 	b.SetBytes(int64(len(payload)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.Call("echo", payload); err != nil {
+		if _, err := c.Call(context.Background(), "echo", payload); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -11,8 +12,10 @@ import (
 // Returning nil ends the stream cleanly with the returned trailer payload;
 // returning an error aborts the stream with an error frame, which is valid
 // even after chunks have been sent. If send itself fails the handler should
-// stop and return; the connection is already dead.
-type StreamHandler func(payload []byte, send func(chunk []byte) error) (trailer []byte, err error)
+// stop and return; the connection is already dead. The context carries the
+// caller's deadline and is cancelled on server shutdown; handlers should
+// check it between chunks.
+type StreamHandler func(ctx context.Context, payload []byte, send func(chunk []byte) error) (trailer []byte, err error)
 
 // RegisterStream installs a streaming handler for a method name. A method
 // is either unary or streaming, not both; a streaming registration shadows
@@ -26,7 +29,7 @@ func (s *Server) RegisterStream(method string, h StreamHandler) {
 // serveStream runs one streaming call on conn. It reports whether the
 // connection is still usable for further calls (false once a write failed
 // mid-stream, since the client can no longer tell frames apart reliably).
-func (s *Server) serveStream(conn net.Conn, h StreamHandler, payload []byte) bool {
+func (s *Server) serveStream(ctx context.Context, conn net.Conn, h StreamHandler, payload []byte) bool {
 	sendErr := false
 	send := func(chunk []byte) error {
 		n, err := writeFrame(conn, frameChunk, "", chunk)
@@ -37,13 +40,13 @@ func (s *Server) serveStream(conn net.Conn, h StreamHandler, payload []byte) boo
 		s.Meter.sent.Add(n)
 		return nil
 	}
-	trailer, herr := h(payload, send)
+	trailer, herr := h(ctx, payload, send)
 	if sendErr {
 		return false
 	}
 	kind, resp := byte(frameEnd), trailer
 	if herr != nil {
-		kind, resp = frameError, []byte(herr.Error())
+		kind, resp = frameError, errorPayload(herr)
 	}
 	n, err := writeFrame(conn, kind, "", resp)
 	if err != nil {
@@ -60,6 +63,8 @@ func (s *Server) serveStream(conn net.Conn, h StreamHandler, payload []byte) boo
 // to call at any point, including after EOF.
 type ClientStream struct {
 	c       *Client
+	ctx     context.Context
+	release func() error
 	conn    net.Conn
 	method  string
 	trailer []byte
@@ -68,19 +73,30 @@ type ClientStream struct {
 }
 
 // Stream opens a server-streaming call. The returned stream must be
-// drained to EOF or Closed, or the underlying connection leaks.
-func (c *Client) Stream(method string, payload []byte) (*ClientStream, error) {
-	conn, err := c.getConn()
+// drained to EOF or Closed, or the underlying connection leaks. The ctx
+// governs the whole stream: its deadline travels to the server, and
+// cancelling it wakes a blocked Recv and discards the connection.
+func (c *Client) Stream(ctx context.Context, method string, payload []byte) (*ClientStream, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	conn, err := c.getConn(ctx)
 	if err != nil {
 		return nil, err
 	}
-	sent, err := writeFrame(conn, frameRequest, method, payload)
+	release := watchConn(ctx, conn)
+	deadline, _ := ctx.Deadline()
+	sent, err := writeRequest(conn, method, deadline, payload)
 	if err != nil {
+		release()
 		conn.Close()
-		return nil, fmt.Errorf("rpc: sending %s: %w", method, err)
+		return nil, callError(ctx, method, "send", err)
 	}
 	c.Meter.sent.Add(sent)
-	return &ClientStream{c: c, conn: conn, method: method}, nil
+	return &ClientStream{c: c, ctx: ctx, release: release, conn: conn, method: method}, nil
 }
 
 // Recv returns the next chunk, io.EOF on clean end of stream, or an error.
@@ -94,7 +110,7 @@ func (st *ClientStream) Recv() ([]byte, error) {
 	}
 	k, _, payload, n, err := readFrame(st.conn)
 	if err != nil {
-		st.fail(fmt.Errorf("rpc: receiving %s stream: %w", st.method, err))
+		st.fail(callError(st.ctx, st.method, "recv", err))
 		return nil, st.err
 	}
 	st.c.Meter.received.Add(n)
@@ -105,11 +121,17 @@ func (st *ClientStream) Recv() ([]byte, error) {
 		st.trailer = payload
 		st.done = true
 		st.c.Meter.calls.Add(1)
-		st.c.putConn(st.conn)
+		if st.release() != nil {
+			// Context fired while the end frame was in flight; the conn
+			// deadline may be poisoned, so it cannot rejoin the pool.
+			st.conn.Close()
+		} else {
+			st.c.putConn(st.conn)
+		}
 		st.conn = nil
 		return nil, io.EOF
 	case frameError:
-		st.fail(&RemoteError{Method: st.method, Message: string(payload)})
+		st.fail(decodeRemoteError(st.method, payload))
 		return nil, st.err
 	default:
 		st.fail(fmt.Errorf("rpc: unexpected frame kind %d in %s stream", k, st.method))
@@ -121,6 +143,7 @@ func (st *ClientStream) fail(err error) {
 	st.err = err
 	st.done = true
 	if st.conn != nil {
+		st.release()
 		st.conn.Close()
 		st.conn = nil
 	}
@@ -135,6 +158,7 @@ func (st *ClientStream) Trailer() []byte { return st.trailer }
 // may still be in flight.
 func (st *ClientStream) Close() error {
 	if st.conn != nil {
+		st.release()
 		st.conn.Close()
 		st.conn = nil
 	}

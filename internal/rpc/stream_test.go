@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -16,7 +17,7 @@ func startStreamServer(t *testing.T) (*Server, *Client) {
 	s := NewServer()
 	// Streams n chunks "chunk-0".."chunk-(n-1)" where n = payload[0],
 	// then ends with trailer "done".
-	s.RegisterStream("count", func(p []byte, send func([]byte) error) ([]byte, error) {
+	s.RegisterStream("count", func(_ context.Context, p []byte, send func([]byte) error) ([]byte, error) {
 		n := int(p[0])
 		for i := 0; i < n; i++ {
 			if err := send([]byte(fmt.Sprintf("chunk-%d", i))); err != nil {
@@ -26,16 +27,16 @@ func startStreamServer(t *testing.T) (*Server, *Client) {
 		return []byte("done"), nil
 	})
 	// Sends two chunks then fails mid-stream.
-	s.RegisterStream("midfail", func(p []byte, send func([]byte) error) ([]byte, error) {
+	s.RegisterStream("midfail", func(_ context.Context, p []byte, send func([]byte) error) ([]byte, error) {
 		send([]byte("a"))
 		send([]byte("b"))
 		return nil, errors.New("exploded after 2 chunks")
 	})
 	// Fails before sending anything.
-	s.RegisterStream("earlyfail", func(p []byte, send func([]byte) error) ([]byte, error) {
+	s.RegisterStream("earlyfail", func(_ context.Context, p []byte, send func([]byte) error) ([]byte, error) {
 		return nil, errors.New("refused")
 	})
-	s.Register("unary", func(p []byte) ([]byte, error) { return p, nil })
+	s.Register("unary", func(_ context.Context, p []byte) ([]byte, error) { return p, nil })
 	addr, err := s.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -50,7 +51,7 @@ func startStreamServer(t *testing.T) (*Server, *Client) {
 
 func TestStreamBasic(t *testing.T) {
 	_, c := startStreamServer(t)
-	st, err := c.Stream("count", []byte{3})
+	st, err := c.Stream(context.Background(), "count", []byte{3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestStreamBasic(t *testing.T) {
 
 func TestStreamZeroChunks(t *testing.T) {
 	_, c := startStreamServer(t)
-	st, err := c.Stream("count", []byte{0})
+	st, err := c.Stream(context.Background(), "count", []byte{0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestStreamZeroChunks(t *testing.T) {
 
 func TestStreamErrorMidStream(t *testing.T) {
 	_, c := startStreamServer(t)
-	st, err := c.Stream("midfail", nil)
+	st, err := c.Stream(context.Background(), "midfail", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestStreamErrorMidStream(t *testing.T) {
 
 func TestStreamEarlyError(t *testing.T) {
 	_, c := startStreamServer(t)
-	st, err := c.Stream("earlyfail", nil)
+	st, err := c.Stream(context.Background(), "earlyfail", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestStreamEarlyError(t *testing.T) {
 
 func TestStreamUnknownMethod(t *testing.T) {
 	_, c := startStreamServer(t)
-	st, err := c.Stream("missing", nil)
+	st, err := c.Stream(context.Background(), "missing", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestStreamUnknownMethod(t *testing.T) {
 func TestStreamConnReuseAfterCleanEnd(t *testing.T) {
 	_, c := startStreamServer(t)
 	for i := 0; i < 5; i++ {
-		st, err := c.Stream("count", []byte{2})
+		st, err := c.Stream(context.Background(), "count", []byte{2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -170,7 +171,7 @@ func TestStreamConnReuseAfterCleanEnd(t *testing.T) {
 
 func TestStreamCloseWithoutDrainDiscardsConn(t *testing.T) {
 	_, c := startStreamServer(t)
-	st, err := c.Stream("count", []byte{5})
+	st, err := c.Stream(context.Background(), "count", []byte{5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,14 +186,14 @@ func TestStreamCloseWithoutDrainDiscardsConn(t *testing.T) {
 		t.Errorf("abandoned stream must not pool its connection, idle=%d", idle)
 	}
 	// The client still works: a fresh connection is dialed.
-	if _, err := c.Call("unary", []byte("x")); err != nil {
+	if _, err := c.Call(context.Background(), "unary", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestStreamInterleavedWithUnary(t *testing.T) {
 	_, c := startStreamServer(t)
-	st, err := c.Stream("count", []byte{4})
+	st, err := c.Stream(context.Background(), "count", []byte{4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestStreamInterleavedWithUnary(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	resp, err := c.Call("unary", []byte("after-stream"))
+	resp, err := c.Call(context.Background(), "unary", []byte("after-stream"))
 	if err != nil || string(resp) != "after-stream" {
 		t.Errorf("unary after stream = %q, %v", resp, err)
 	}
@@ -213,7 +214,7 @@ func TestStreamMetersPerChunk(t *testing.T) {
 	s, c := startStreamServer(t)
 	c.Meter.Reset()
 	s.Meter.Reset()
-	st, err := c.Stream("count", []byte{10})
+	st, err := c.Stream(context.Background(), "count", []byte{10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,7 +246,7 @@ func TestStreamConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func(n byte) {
 			defer wg.Done()
-			st, err := c.Stream("count", []byte{n})
+			st, err := c.Stream(context.Background(), "count", []byte{n})
 			if err != nil {
 				errs <- err
 				return
@@ -304,7 +305,7 @@ func TestStreamPeerDiesMidStream(t *testing.T) {
 	})
 	c := Dial(addr)
 	defer c.Close()
-	st, err := c.Stream("any", nil)
+	st, err := c.Stream(context.Background(), "any", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestStreamTruncatedChunkFrame(t *testing.T) {
 	})
 	c := Dial(addr)
 	defer c.Close()
-	st, err := c.Stream("any", nil)
+	st, err := c.Stream(context.Background(), "any", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +344,7 @@ func TestStreamGarbageFrameKind(t *testing.T) {
 	})
 	c := Dial(addr)
 	defer c.Close()
-	st, err := c.Stream("any", nil)
+	st, err := c.Stream(context.Background(), "any", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -357,7 +358,7 @@ func TestServeStreamHandlerSendAfterClientGone(t *testing.T) {
 	// send error and the server must survive.
 	s := NewServer()
 	sent := make(chan error, 1)
-	s.RegisterStream("forever", func(p []byte, send func([]byte) error) ([]byte, error) {
+	s.RegisterStream("forever", func(_ context.Context, p []byte, send func([]byte) error) ([]byte, error) {
 		payload := bytes.Repeat([]byte{1}, 1<<16)
 		for i := 0; ; i++ {
 			if err := send(payload); err != nil {
@@ -372,7 +373,7 @@ func TestServeStreamHandlerSendAfterClientGone(t *testing.T) {
 	}
 	defer s.Close()
 	c := Dial(addr)
-	st, err := c.Stream("forever", nil)
+	st, err := c.Stream(context.Background(), "forever", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

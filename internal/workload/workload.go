@@ -12,6 +12,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -76,9 +77,9 @@ func (d *Dataset) Register(ms *metastore.Metastore, catalog string) error {
 }
 
 // UploadOCS stores every object through an OCS frontend.
-func (d *Dataset) UploadOCS(cli *ocsserver.Client) error {
+func (d *Dataset) UploadOCS(ctx context.Context, cli *ocsserver.Client) error {
 	for _, key := range d.Table.Objects {
-		if err := cli.Put(d.Table.Bucket, key, d.Objects[key]); err != nil {
+		if err := cli.Put(ctx, d.Table.Bucket, key, d.Objects[key]); err != nil {
 			return err
 		}
 	}
@@ -86,9 +87,9 @@ func (d *Dataset) UploadOCS(cli *ocsserver.Client) error {
 }
 
 // UploadObjStore stores every object in a plain object store.
-func (d *Dataset) UploadObjStore(cli *objstore.Client) error {
+func (d *Dataset) UploadObjStore(ctx context.Context, cli *objstore.Client) error {
 	for _, key := range d.Table.Objects {
-		if err := cli.Put(d.Table.Bucket, key, d.Objects[key]); err != nil {
+		if err := cli.Put(ctx, d.Table.Bucket, key, d.Objects[key]); err != nil {
 			return err
 		}
 	}
