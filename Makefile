@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench faults check
+.PHONY: build test bench bench-paper faults check vet-vectorized
 
 build:
 	$(GO) build ./...
@@ -8,7 +8,16 @@ build:
 test:
 	$(GO) test ./...
 
+# bench runs the kernel/operator microbenchmarks (vectorized expression
+# kernels, filter selectivity sweep, hash aggregation, sort/top-N) and
+# archives the numbers as BENCH_PR3.json; the human-readable table still
+# prints on stderr. The end-to-end paper sweeps live under bench-paper.
 bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./internal/exec/ | $(GO) run ./cmd/benchjson > BENCH_PR3.json
+
+# bench-paper regenerates the paper-evaluation benchmarks (full in-process
+# topology per iteration; slow).
+bench-paper:
 	$(GO) test -bench=. -benchmem ./...
 
 # faults runs the failure-injection matrix twice under the race detector:
@@ -19,10 +28,24 @@ faults:
 		./internal/rpc/... ./internal/retry/... ./internal/faultnet/... \
 		./internal/ocsserver/... ./internal/harness/...
 
-# check is the verification gate: vet plus the full suite under the race
-# detector (the streaming RPC and parallel scanner are concurrency-heavy),
-# then the fault-injection matrix.
+# vet-vectorized guards the vectorized hot path: per-row expression
+# evaluation (expr.EvalRow) must not reappear in the operator library or
+# the storage executor — the only legitimate per-row evaluation is the
+# fallback inside internal/expr itself.
+vet-vectorized:
+	@bad=$$(grep -n 'EvalRow' internal/exec/*.go internal/ocsserver/*.go internal/objstore/*.go 2>/dev/null | grep -v '_test.go'); \
+	if [ -n "$$bad" ]; then \
+		echo "per-row expr.EvalRow crept back into the exec hot path:"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@echo "vet-vectorized: exec hot path is EvalRow-free"
+
+# check is the verification gate: vet (plus the vectorized hot-path guard)
+# and the full suite under the race detector (the streaming RPC and
+# parallel scanner are concurrency-heavy), then the fault-injection matrix.
 check:
 	$(GO) vet ./...
+	$(MAKE) vet-vectorized
 	$(GO) test -race ./...
 	$(MAKE) faults

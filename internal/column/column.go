@@ -152,22 +152,51 @@ func (v *Vector) AppendVector(src *Vector) {
 	}
 }
 
-// Filter returns a new vector containing the rows where keep[i] is true.
+// Filter returns a vector containing the rows where keep[i] is true. When
+// every row is kept the input vector is returned unchanged (vectors are
+// immutable by convention, so sharing is safe); otherwise the output is
+// preallocated from the keep count and copied with typed loops.
 func (v *Vector) Filter(keep []bool) *Vector {
-	out := NewVector(v.Kind)
-	for i, k := range keep {
-		if k {
-			out.Append(v.Value(i))
-		}
+	n := CountKeep(keep)
+	if n == len(keep) && n == v.Len() {
+		return v
 	}
-	return out
+	return v.Gather(KeepToSel(keep, nil))
 }
 
-// Gather returns a new vector with rows picked by index (may repeat).
+// Gather returns a new vector with rows picked by index (may repeat). The
+// output is preallocated to len(indices) and copied with typed loops —
+// no per-row boxing through types.Value.
 func (v *Vector) Gather(indices []int) *Vector {
+	n := len(indices)
 	out := NewVector(v.Kind)
-	for _, i := range indices {
-		out.Append(v.Value(i))
+	if v.Nulls != nil {
+		out.Nulls = make([]bool, n)
+		for o, i := range indices {
+			out.Nulls[o] = v.Nulls[i]
+		}
+	}
+	switch v.Kind {
+	case types.Int64, types.Date:
+		out.Ints = make([]int64, n)
+		for o, i := range indices {
+			out.Ints[o] = v.Ints[i]
+		}
+	case types.Float64:
+		out.Floats = make([]float64, n)
+		for o, i := range indices {
+			out.Floats[o] = v.Floats[i]
+		}
+	case types.String:
+		out.Strings = make([]string, n)
+		for o, i := range indices {
+			out.Strings[o] = v.Strings[i]
+		}
+	case types.Bool:
+		out.Bools = make([]bool, n)
+		for o, i := range indices {
+			out.Bools[o] = v.Bools[i]
+		}
 	}
 	return out
 }
@@ -175,8 +204,18 @@ func (v *Vector) Gather(indices []int) *Vector {
 // Slice returns rows [from, to) as a new vector sharing no storage.
 func (v *Vector) Slice(from, to int) *Vector {
 	out := NewVector(v.Kind)
-	for i := from; i < to; i++ {
-		out.Append(v.Value(i))
+	if v.Nulls != nil {
+		out.Nulls = append(make([]bool, 0, to-from), v.Nulls[from:to]...)
+	}
+	switch v.Kind {
+	case types.Int64, types.Date:
+		out.Ints = append(make([]int64, 0, to-from), v.Ints[from:to]...)
+	case types.Float64:
+		out.Floats = append(make([]float64, 0, to-from), v.Floats[from:to]...)
+	case types.String:
+		out.Strings = append(make([]string, 0, to-from), v.Strings[from:to]...)
+	case types.Bool:
+		out.Bools = append(make([]bool, 0, to-from), v.Bools[from:to]...)
 	}
 	return out
 }
@@ -259,13 +298,24 @@ func (p *Page) AppendPage(src *Page) {
 	}
 }
 
-// Filter returns a new page keeping the rows where keep[i] is true.
+// Filter returns a page keeping the rows where keep[i] is true. When every
+// row is kept the input page is returned unchanged; otherwise output
+// vectors are preallocated from the keep count.
 func (p *Page) Filter(keep []bool) *Page {
-	out := &Page{Schema: p.Schema, Vectors: make([]*Vector, len(p.Vectors))}
-	for i, v := range p.Vectors {
-		out.Vectors[i] = v.Filter(keep)
+	if CountKeep(keep) == p.NumRows() {
+		return p
 	}
-	return out
+	return p.Gather(KeepToSel(keep, nil))
+}
+
+// FilterSel returns a page keeping only the rows named by the selection
+// vector (sorted, non-repeating). When the selection covers every row the
+// input page is returned unchanged.
+func (p *Page) FilterSel(sel []int) *Page {
+	if len(sel) == p.NumRows() {
+		return p
+	}
+	return p.Gather(sel)
 }
 
 // Gather returns a new page with rows picked by index.

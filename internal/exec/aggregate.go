@@ -1,7 +1,9 @@
 package exec
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 
 	"prestocs/internal/column"
@@ -29,6 +31,12 @@ const (
 // Group keys appear first in the output schema, then one column per
 // measure. Output rows are ordered by first appearance of the group,
 // making results deterministic for tests.
+//
+// The implementation is columnar: group keys are encoded with a
+// collision-proof length-prefixed binary layout (fixed 8-byte words for
+// numeric kinds, uvarint-length-prefixed bytes for strings) and mapped to
+// dense group ids; measures accumulate into flat per-group arrays with
+// the per-measure function/type dispatch hoisted out of the row loop.
 type HashAggregate struct {
 	input    Operator
 	keys     []int
@@ -37,15 +45,6 @@ type HashAggregate struct {
 	schema   *types.Schema
 	meter    *Meter
 	done     bool
-}
-
-type aggState struct {
-	keyVals []types.Value
-	sums    []float64 // sum state (float accumulate; int measures re-cast)
-	isums   []int64   // integer sum state to keep BIGINT sums exact
-	counts  []int64
-	mins    []types.Value
-	maxs    []types.Value
 }
 
 // NewHashAggregate validates measures against the input schema.
@@ -101,6 +100,202 @@ func NewHashAggregate(input Operator, keys []int, measures []substrait.Measure, 
 // Schema implements Operator.
 func (a *HashAggregate) Schema() *types.Schema { return a.schema }
 
+// accumulator holds one measure's per-group state as flat arrays indexed
+// by dense group id.
+type accumulator struct {
+	fn   substrait.AggFunc // resolved for the mode (merge fn when final)
+	col  int               // input ordinal (state column when final)
+	kind types.Kind        // input column kind (min/max reconstruction)
+
+	counts []int64
+	isums  []int64
+	fsums  []float64
+
+	// min/max state: mmSet marks groups with a non-NULL value; exactly
+	// one typed slice is populated, selected by kind.
+	mmSet     []bool
+	mmInts    []int64
+	mmFloats  []float64
+	mmStrings []string
+	mmBools   []bool
+}
+
+// grow extends the per-group arrays to n groups.
+func (acc *accumulator) grow(n int) {
+	for len(acc.counts) < n {
+		acc.counts = append(acc.counts, 0)
+		acc.isums = append(acc.isums, 0)
+		acc.fsums = append(acc.fsums, 0)
+		acc.mmSet = append(acc.mmSet, false)
+		acc.mmInts = append(acc.mmInts, 0)
+		acc.mmFloats = append(acc.mmFloats, 0)
+		acc.mmStrings = append(acc.mmStrings, "")
+		acc.mmBools = append(acc.mmBools, false)
+	}
+}
+
+// accumulate folds one page into the state. groupIDs[i] is row i's dense
+// group id. The function/kind dispatch happens once per page, not per
+// row; the inner loops touch raw column buffers only.
+func (acc *accumulator) accumulate(page *column.Page, groupIDs []int) error {
+	switch acc.fn {
+	case substrait.AggCountStar:
+		for _, g := range groupIDs {
+			acc.counts[g]++
+		}
+	case substrait.AggCount:
+		nulls := page.Vectors[acc.col].Nulls
+		if nulls == nil {
+			for _, g := range groupIDs {
+				acc.counts[g]++
+			}
+			return nil
+		}
+		for i, g := range groupIDs {
+			if !nulls[i] {
+				acc.counts[g]++
+			}
+		}
+	case substrait.AggSum:
+		vec := page.Vectors[acc.col]
+		nulls := vec.Nulls
+		switch vec.Kind {
+		case types.Int64:
+			for i, g := range groupIDs {
+				if nulls != nil && nulls[i] {
+					continue
+				}
+				acc.isums[g] += vec.Ints[i]
+				acc.counts[g]++
+			}
+		case types.Float64:
+			for i, g := range groupIDs {
+				if nulls != nil && nulls[i] {
+					continue
+				}
+				acc.fsums[g] += vec.Floats[i]
+				acc.counts[g]++
+			}
+		case types.Date:
+			// Date sums accumulate as day counts in the float state,
+			// matching the row-wise AsFloat path.
+			for i, g := range groupIDs {
+				if nulls != nil && nulls[i] {
+					continue
+				}
+				acc.fsums[g] += float64(vec.Ints[i])
+				acc.counts[g]++
+			}
+		default:
+			return fmt.Errorf("exec: SUM over %s", vec.Kind)
+		}
+	case substrait.AggMin, substrait.AggMax:
+		acc.minMax(page, groupIDs, acc.fn == substrait.AggMin)
+	default:
+		return fmt.Errorf("exec: unsupported aggregate %q", acc.fn)
+	}
+	return nil
+}
+
+func (acc *accumulator) minMax(page *column.Page, groupIDs []int, isMin bool) {
+	vec := page.Vectors[acc.col]
+	nulls := vec.Nulls
+	// Ties keep the incumbent (strict comparison), matching types.Compare
+	// semantics of the row-wise path.
+	switch vec.Kind {
+	case types.Int64, types.Date:
+		for i, g := range groupIDs {
+			if nulls != nil && nulls[i] {
+				continue
+			}
+			v := vec.Ints[i]
+			if !acc.mmSet[g] || (isMin && v < acc.mmInts[g]) || (!isMin && v > acc.mmInts[g]) {
+				acc.mmInts[g] = v
+				acc.mmSet[g] = true
+			}
+		}
+	case types.Float64:
+		for i, g := range groupIDs {
+			if nulls != nil && nulls[i] {
+				continue
+			}
+			v := vec.Floats[i]
+			if !acc.mmSet[g] {
+				acc.mmFloats[g] = v
+				acc.mmSet[g] = true
+				continue
+			}
+			c := types.CompareFloat(v, acc.mmFloats[g])
+			if (isMin && c < 0) || (!isMin && c > 0) {
+				acc.mmFloats[g] = v
+			}
+		}
+	case types.String:
+		for i, g := range groupIDs {
+			if nulls != nil && nulls[i] {
+				continue
+			}
+			v := vec.Strings[i]
+			if !acc.mmSet[g] || (isMin && v < acc.mmStrings[g]) || (!isMin && v > acc.mmStrings[g]) {
+				acc.mmStrings[g] = v
+				acc.mmSet[g] = true
+			}
+		}
+	case types.Bool:
+		for i, g := range groupIDs {
+			if nulls != nil && nulls[i] {
+				continue
+			}
+			v := vec.Bools[i]
+			if !acc.mmSet[g] || (isMin && !v && acc.mmBools[g]) || (!isMin && v && !acc.mmBools[g]) {
+				acc.mmBools[g] = v
+				acc.mmSet[g] = true
+			}
+		}
+	}
+}
+
+// encodeGroupKey appends row's key values to buf with a collision-proof
+// binary layout: a null byte per key (0 = NULL, payload omitted), then
+// fixed 8-byte words for numeric kinds, one byte for booleans, and a
+// uvarint length prefix plus raw bytes for strings. Delimiter-free and
+// injective for a fixed key schema — string values containing "\x00" or
+// "\x01" cannot collide (the previous delimiter-joined String() encoding
+// could).
+func encodeGroupKey(buf []byte, page *column.Page, keys []int, row int) []byte {
+	for _, k := range keys {
+		vec := page.Vectors[k]
+		if vec.Nulls != nil && vec.Nulls[row] {
+			buf = append(buf, 0)
+			continue
+		}
+		buf = append(buf, 1)
+		switch vec.Kind {
+		case types.Int64, types.Date:
+			buf = binary.BigEndian.AppendUint64(buf, uint64(vec.Ints[row]))
+		case types.Float64:
+			f := vec.Floats[row]
+			if math.IsNaN(f) {
+				// Canonicalize NaN payloads so every NaN lands in one
+				// group, like the formatted-key encoding did.
+				f = math.NaN()
+			}
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(f))
+		case types.String:
+			s := vec.Strings[row]
+			buf = binary.AppendUvarint(buf, uint64(len(s)))
+			buf = append(buf, s...)
+		case types.Bool:
+			if vec.Bools[row] {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+	}
+	return buf
+}
+
 // Next implements Operator: it drains the input on first call and emits
 // the grouped result as one page.
 func (a *HashAggregate) Next() (*column.Page, error) {
@@ -109,9 +304,28 @@ func (a *HashAggregate) Next() (*column.Page, error) {
 	}
 	a.done = true
 
-	groups := map[string]*aggState{}
-	var order []string
+	in := a.input.Schema()
+	ids := make(map[string]int)
+	keyVecs := make([]*column.Vector, len(a.keys))
+	for ki, k := range a.keys {
+		keyVecs[ki] = column.NewVector(in.Columns[k].Type)
+	}
+	accs := make([]*accumulator, len(a.measures))
+	for mi, m := range a.measures {
+		acc := &accumulator{fn: m.Func, col: m.Arg}
+		if a.mode == AggFinal {
+			acc.fn = mergeFunc(m.Func)
+			acc.col = len(a.keys) + mi
+		}
+		if acc.col >= 0 && acc.col < in.Len() {
+			acc.kind = in.Columns[acc.col].Type
+		}
+		accs[mi] = acc
+	}
 
+	var keyBuf []byte
+	var groupIDs []int
+	numGroups := 0
 	for {
 		page, err := a.input.Next()
 		if err != nil {
@@ -120,27 +334,38 @@ func (a *HashAggregate) Next() (*column.Page, error) {
 		if page == nil {
 			break
 		}
-		a.meter.charge(page.NumRows(), float64(len(a.keys))+2*float64(len(a.measures)))
-		for i := 0; i < page.NumRows(); i++ {
-			key, keyVals := a.groupKey(page, i)
-			st, ok := groups[key]
-			if !ok {
-				st = &aggState{
-					keyVals: keyVals,
-					sums:    make([]float64, len(a.measures)),
-					isums:   make([]int64, len(a.measures)),
-					counts:  make([]int64, len(a.measures)),
-					mins:    make([]types.Value, len(a.measures)),
-					maxs:    make([]types.Value, len(a.measures)),
-				}
-				for mi := range a.measures {
-					st.mins[mi] = types.NullValue(types.Unknown)
-					st.maxs[mi] = types.NullValue(types.Unknown)
-				}
-				groups[key] = st
-				order = append(order, key)
+		n := page.NumRows()
+		a.meter.charge(n, float64(len(a.keys))+2*float64(len(a.measures)))
+		if cap(groupIDs) < n {
+			groupIDs = make([]int, n)
+		}
+		groupIDs = groupIDs[:n]
+		if len(a.keys) == 0 {
+			// Global aggregation: one implicit group.
+			if n > 0 && numGroups == 0 {
+				numGroups = 1
 			}
-			if err := a.accumulate(st, page, i); err != nil {
+			for i := range groupIDs {
+				groupIDs[i] = 0
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				keyBuf = encodeGroupKey(keyBuf[:0], page, a.keys, i)
+				id, ok := ids[string(keyBuf)]
+				if !ok {
+					id = numGroups
+					numGroups++
+					ids[string(keyBuf)] = id
+					for ki, k := range a.keys {
+						keyVecs[ki].Append(page.Vectors[k].Value(i))
+					}
+				}
+				groupIDs[i] = id
+			}
+		}
+		for _, acc := range accs {
+			acc.grow(numGroups)
+			if err := acc.accumulate(page, groupIDs); err != nil {
 				return nil, err
 			}
 		}
@@ -149,7 +374,7 @@ func (a *HashAggregate) Next() (*column.Page, error) {
 	// SQL semantics: a global aggregation (no GROUP BY) over empty input
 	// yields one row — count 0, other aggregates NULL. Partial mode emits
 	// nothing instead; the final stage synthesizes the default row.
-	if len(order) == 0 && len(a.keys) == 0 && a.mode != AggPartial {
+	if numGroups == 0 && len(a.keys) == 0 && a.mode != AggPartial {
 		out := column.NewPage(a.schema)
 		row := make([]types.Value, 0, a.schema.Len())
 		for mi, m := range a.measures {
@@ -165,85 +390,19 @@ func (a *HashAggregate) Next() (*column.Page, error) {
 	}
 
 	out := column.NewPage(a.schema)
-	for _, key := range order {
-		st := groups[key]
-		row := make([]types.Value, 0, a.schema.Len())
-		row = append(row, st.keyVals...)
-		for mi, m := range a.measures {
-			row = append(row, a.finalValue(st, mi, m))
+	for ki := range a.keys {
+		out.Vectors[ki] = keyVecs[ki]
+	}
+	for mi, m := range a.measures {
+		outKind := a.schema.Columns[len(a.keys)+mi].Type
+		vec := column.NewVector(outKind)
+		vec.Reserve(numGroups)
+		for g := 0; g < numGroups; g++ {
+			vec.Append(a.finalValue(accs[mi], m, outKind, g))
 		}
-		out.AppendRow(row...)
+		out.Vectors[len(a.keys)+mi] = vec
 	}
 	return out, nil
-}
-
-// groupKey builds a canonical string key plus the key values for row i.
-func (a *HashAggregate) groupKey(page *column.Page, i int) (string, []types.Value) {
-	vals := make([]types.Value, len(a.keys))
-	key := ""
-	for ki, k := range a.keys {
-		v := page.Vectors[k].Value(i)
-		vals[ki] = v
-		key += "\x00" + v.Kind.String() + ":" + v.String()
-		if v.Null {
-			key += "\x01null"
-		}
-	}
-	return key, vals
-}
-
-func (a *HashAggregate) accumulate(st *aggState, page *column.Page, row int) error {
-	for mi, m := range a.measures {
-		var v types.Value
-		switch {
-		case a.mode == AggFinal:
-			v = page.Vectors[len(a.keys)+mi].Value(row)
-		case m.Func == substrait.AggCountStar:
-			// count(*) consumes no input column.
-		default:
-			v = page.Vectors[m.Arg].Value(row)
-		}
-
-		fn := m.Func
-		if a.mode == AggFinal {
-			fn = mergeFunc(fn)
-		}
-		switch fn {
-		case substrait.AggCountStar:
-			st.counts[mi]++
-		case substrait.AggCount:
-			if !v.Null {
-				st.counts[mi]++
-			}
-		case substrait.AggSum:
-			if v.Null {
-				continue
-			}
-			st.counts[mi]++
-			if v.Kind == types.Int64 {
-				st.isums[mi] += v.I
-			} else {
-				st.sums[mi] += v.AsFloat()
-			}
-		case substrait.AggMin:
-			if v.Null {
-				continue
-			}
-			if st.mins[mi].Null || types.Compare(v, st.mins[mi]) < 0 {
-				st.mins[mi] = v
-			}
-		case substrait.AggMax:
-			if v.Null {
-				continue
-			}
-			if st.maxs[mi].Null || types.Compare(v, st.maxs[mi]) > 0 {
-				st.maxs[mi] = v
-			}
-		default:
-			return fmt.Errorf("exec: unsupported aggregate %q", fn)
-		}
-	}
-	return nil
 }
 
 // mergeFunc maps an original aggregate to the function that merges its
@@ -258,17 +417,12 @@ func mergeFunc(f substrait.AggFunc) substrait.AggFunc {
 	}
 }
 
-func (a *HashAggregate) finalValue(st *aggState, mi int, m substrait.Measure) types.Value {
-	outKind := a.schema.Columns[len(a.keys)+mi].Type
-	fn := m.Func
-	if a.mode == AggFinal {
-		fn = mergeFunc(fn)
-	}
-	switch fn {
+func (a *HashAggregate) finalValue(acc *accumulator, m substrait.Measure, outKind types.Kind, g int) types.Value {
+	switch acc.fn {
 	case substrait.AggCount, substrait.AggCountStar:
-		return types.IntValue(st.counts[mi])
+		return types.IntValue(acc.counts[g])
 	case substrait.AggSum:
-		if st.counts[mi] == 0 {
+		if acc.counts[g] == 0 {
 			// SQL: SUM over empty group is NULL; COUNT merges emit 0.
 			if a.mode == AggFinal && (m.Func == substrait.AggCount || m.Func == substrait.AggCountStar) {
 				return types.IntValue(0)
@@ -276,28 +430,125 @@ func (a *HashAggregate) finalValue(st *aggState, mi int, m substrait.Measure) ty
 			return types.NullValue(outKind)
 		}
 		if outKind == types.Int64 {
-			return types.IntValue(st.isums[mi])
+			return types.IntValue(acc.isums[g])
 		}
-		return types.FloatValue(st.sums[mi] + float64(st.isums[mi]))
-	case substrait.AggMin:
-		if st.mins[mi].Null {
+		return types.FloatValue(acc.fsums[g] + float64(acc.isums[g]))
+	case substrait.AggMin, substrait.AggMax:
+		if !acc.mmSet[g] {
 			return types.NullValue(outKind)
 		}
-		return st.mins[mi]
-	case substrait.AggMax:
-		if st.maxs[mi].Null {
-			return types.NullValue(outKind)
+		switch acc.kind {
+		case types.Int64:
+			return types.IntValue(acc.mmInts[g])
+		case types.Date:
+			return types.DateValue(acc.mmInts[g])
+		case types.Float64:
+			return types.FloatValue(acc.mmFloats[g])
+		case types.String:
+			return types.StringValue(acc.mmStrings[g])
+		case types.Bool:
+			return types.BoolValue(acc.mmBools[g])
 		}
-		return st.maxs[mi]
-	default:
-		return types.NullValue(outKind)
 	}
+	return types.NullValue(outKind)
 }
 
 // SortSpec orders rows by column ordinal.
 type SortSpec struct {
 	Column     int
 	Descending bool
+}
+
+// sortKeyCols is the typed view of a page's sort-key columns, extracted
+// once so each comparison reads raw buffers instead of boxing two
+// types.Values per key (as the old compareRows did).
+type sortKeyCols struct {
+	cols []sortKeyCol
+}
+
+type sortKeyCol struct {
+	desc  bool
+	kind  types.Kind
+	nulls []bool
+	ints  []int64
+	flts  []float64
+	strs  []string
+	bools []bool
+}
+
+func newSortKeyCols(p *column.Page, keys []SortSpec) *sortKeyCols {
+	s := &sortKeyCols{cols: make([]sortKeyCol, len(keys))}
+	for i, k := range keys {
+		v := p.Vectors[k.Column]
+		s.cols[i] = sortKeyCol{
+			desc:  k.Descending,
+			kind:  v.Kind,
+			nulls: v.Nulls,
+			ints:  v.Ints,
+			flts:  v.Floats,
+			strs:  v.Strings,
+			bools: v.Bools,
+		}
+	}
+	return s
+}
+
+// compare orders rows a and b under the key list: NULLS FIRST, floats by
+// the engine's NaN-total order — identical to types.Compare.
+func (s *sortKeyCols) compare(a, b int) int {
+	for i := range s.cols {
+		c := s.cols[i].cmp(a, b)
+		if c != 0 {
+			if s.cols[i].desc {
+				return -c
+			}
+			return c
+		}
+	}
+	return 0
+}
+
+func (c *sortKeyCol) cmp(a, b int) int {
+	if c.nulls != nil {
+		aN, bN := c.nulls[a], c.nulls[b]
+		switch {
+		case aN && bN:
+			return 0
+		case aN:
+			return -1
+		case bN:
+			return 1
+		}
+	}
+	switch c.kind {
+	case types.Int64, types.Date:
+		switch {
+		case c.ints[a] < c.ints[b]:
+			return -1
+		case c.ints[a] > c.ints[b]:
+			return 1
+		}
+		return 0
+	case types.Float64:
+		return types.CompareFloat(c.flts[a], c.flts[b])
+	case types.String:
+		switch {
+		case c.strs[a] < c.strs[b]:
+			return -1
+		case c.strs[a] > c.strs[b]:
+			return 1
+		}
+		return 0
+	case types.Bool:
+		switch {
+		case !c.bools[a] && c.bools[b]:
+			return -1
+		case c.bools[a] && !c.bools[b]:
+			return 1
+		}
+		return 0
+	}
+	return 0
 }
 
 // Sort fully sorts its input by the given keys (stable).
@@ -340,8 +591,9 @@ func (s *Sort) Next() (*column.Page, error) {
 	for i := range idx {
 		idx[i] = i
 	}
+	kc := newSortKeyCols(all, s.keys)
 	sort.SliceStable(idx, func(a, b int) bool {
-		return compareRows(all, idx[a], idx[b], s.keys) < 0
+		return kc.compare(idx[a], idx[b]) < 0
 	})
 	// n log n comparisons, each costing ~#keys units.
 	s.meter.charge(n, log2ish(n)*float64(len(s.keys)))
@@ -354,19 +606,6 @@ func log2ish(n int) float64 {
 		bits++
 	}
 	return float64(bits + 1)
-}
-
-func compareRows(p *column.Page, a, b int, keys []SortSpec) int {
-	for _, k := range keys {
-		c := types.Compare(p.Vectors[k.Column].Value(a), p.Vectors[k.Column].Value(b))
-		if c != 0 {
-			if k.Descending {
-				return -c
-			}
-			return c
-		}
-	}
-	return 0
 }
 
 // TopN keeps the n smallest rows under the sort keys, emitting them in
@@ -414,8 +653,9 @@ func (t *TopN) Next() (*column.Page, error) {
 		for i := range idx {
 			idx[i] = i
 		}
+		kc := newSortKeyCols(buf, t.keys)
 		sort.SliceStable(idx, func(a, b int) bool {
-			return compareRows(buf, idx[a], idx[b], t.keys) < 0
+			return kc.compare(idx[a], idx[b]) < 0
 		})
 		if int64(len(idx)) > t.n {
 			idx = idx[:t.n]

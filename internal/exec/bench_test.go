@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"testing"
 
 	"prestocs/internal/column"
@@ -40,6 +41,47 @@ func BenchmarkFilter(b *testing.B) {
 	}
 }
 
+// BenchmarkFilterSelectivity sweeps the fraction of surviving rows. The
+// extremes exercise the kernel fast paths: at ~100% the filter returns the
+// input page untouched, at ~0% no output page is ever materialized.
+func BenchmarkFilterSelectivity(b *testing.B) {
+	schema, pages := benchPages(16, 4096)
+	total := 16 * 4096
+	for _, pct := range []int{1, 25, 50, 99} {
+		// v is 0..total-1, so v > threshold keeps ~pct% of the rows.
+		threshold := float64(total) * float64(100-pct) / 100
+		pred, _ := expr.NewCompare(expr.Gt, expr.Col(1, "v", types.Float64), expr.Lit(types.FloatValue(threshold)))
+		b.Run(fmt.Sprintf("pct=%d", pct), func(b *testing.B) {
+			b.SetBytes(int64(total))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, _ := NewFilter(NewPageSource(schema, pages), pred, nil)
+				if _, err := Drain(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFilterProject measures the selection handover: Project pulls
+// (page, selection) pairs from Filter and evaluates its expressions over
+// surviving rows only, never materializing the filtered page.
+func BenchmarkFilterProject(b *testing.B) {
+	schema, pages := benchPages(16, 4096)
+	pred, _ := expr.NewCompare(expr.Gt, expr.Col(1, "v", types.Float64), expr.Lit(types.FloatValue(32768)))
+	proj, _ := expr.NewArith(expr.Add, expr.Col(1, "v", types.Float64), expr.Col(0, "k", types.Int64))
+	b.SetBytes(int64(16 * 4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, _ := NewFilter(NewPageSource(schema, pages), pred, nil)
+		p, _ := NewProject(f, []expr.Expr{proj}, []string{"x"}, nil)
+		if _, err := Drain(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkHashAggregate(b *testing.B) {
 	schema, pages := benchPages(16, 4096)
 	measures := []substrait.Measure{
@@ -50,6 +92,27 @@ func BenchmarkHashAggregate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		agg, _ := NewHashAggregate(NewPageSource(schema, pages), []int{0}, measures, AggSingle, nil)
+		if _, err := Drain(agg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHashAggregateGlobal is the no-keys variant: a single group, so
+// the run is dominated by the columnar accumulator loops rather than key
+// encoding and hash probes.
+func BenchmarkHashAggregateGlobal(b *testing.B) {
+	schema, pages := benchPages(16, 4096)
+	measures := []substrait.Measure{
+		{Func: substrait.AggSum, Arg: 1, Name: "s"},
+		{Func: substrait.AggMin, Arg: 1, Name: "mn"},
+		{Func: substrait.AggMax, Arg: 1, Name: "mx"},
+		{Func: substrait.AggCountStar, Arg: -1, Name: "c"},
+	}
+	b.SetBytes(int64(16 * 4096))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, _ := NewHashAggregate(NewPageSource(schema, pages), nil, measures, AggSingle, nil)
 		if _, err := Drain(agg); err != nil {
 			b.Fatal(err)
 		}

@@ -92,9 +92,26 @@ func (s *FuncSource) Schema() *types.Schema { return s.schema }
 // Next implements Operator.
 func (s *FuncSource) Next() (*column.Page, error) { return s.fn() }
 
-// Filter drops rows not satisfying the predicate.
+// SelSource is an Operator that can hand pages over with a pending
+// selection vector instead of materializing the surviving rows. Filter
+// implements it; selection-aware consumers (a chained Filter, Project)
+// detect it and defer materialization to the operator boundary that
+// actually needs dense pages (aggregation, sort, the network).
+type SelSource interface {
+	Operator
+	// NextSel returns the next page plus the selection of live rows.
+	// A nil selection means every row is live. Pages with an empty
+	// selection are never returned; exhaustion is (nil, nil, nil).
+	NextSel() (*column.Page, []int, error)
+}
+
+// Filter drops rows not satisfying the predicate. It evaluates the
+// predicate through the vectorized selection path (expr.EvalSelection):
+// typed kernels over whole column buffers, with AND/OR short-circuiting
+// over surviving rows only.
 type Filter struct {
 	input Operator
+	selIn SelSource // non-nil when the input can defer materialization
 	pred  expr.Expr
 	meter *Meter
 }
@@ -104,36 +121,69 @@ func NewFilter(input Operator, pred expr.Expr, meter *Meter) (*Filter, error) {
 	if pred.Type() != types.Bool {
 		return nil, fmt.Errorf("exec: filter predicate has type %s", pred.Type())
 	}
-	return &Filter{input: input, pred: pred, meter: meter}, nil
+	selIn, _ := input.(SelSource)
+	return &Filter{input: input, selIn: selIn, pred: pred, meter: meter}, nil
 }
 
 // Schema implements Operator.
 func (f *Filter) Schema() *types.Schema { return f.input.Schema() }
 
-// Next implements Operator.
-func (f *Filter) Next() (*column.Page, error) {
+// NextSel implements SelSource: the input page is returned untouched with
+// the predicate folded into the selection vector.
+func (f *Filter) NextSel() (*column.Page, []int, error) {
 	for {
-		page, err := f.input.Next()
+		var page *column.Page
+		var sel []int
+		var err error
+		if f.selIn != nil {
+			page, sel, err = f.selIn.NextSel()
+		} else {
+			page, err = f.input.Next()
+		}
 		if err != nil || page == nil {
-			return nil, err
+			return nil, nil, err
 		}
-		keep, err := expr.EvalPredicate(f.pred, page)
+		out, err := expr.EvalSelectionOver(f.pred, page, sel)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		f.meter.charge(page.NumRows(), f.pred.Cost())
-		out := page.Filter(keep)
-		if out.NumRows() > 0 {
-			return out, nil
+		if sel == nil {
+			f.meter.charge(page.NumRows(), f.pred.Cost())
+		} else {
+			f.meter.charge(len(sel), f.pred.Cost())
+		}
+		if len(out) == page.NumRows() {
+			// Every row survived: report "all live" so downstream
+			// evaluation stays zero-copy.
+			return page, nil, nil
+		}
+		if len(out) > 0 {
+			return page, out, nil
 		}
 		// All rows filtered; pull the next page rather than emitting an
 		// empty one.
 	}
 }
 
-// Project evaluates expressions into a new schema.
+// Next implements Operator, materializing the selection (the input page
+// is returned unchanged when every row survives).
+func (f *Filter) Next() (*column.Page, error) {
+	page, sel, err := f.NextSel()
+	if err != nil || page == nil {
+		return nil, err
+	}
+	if sel == nil {
+		return page, nil
+	}
+	return page.FilterSel(sel), nil
+}
+
+// Project evaluates expressions into a new schema. When the input is a
+// SelSource (a Filter), expressions are evaluated only over the surviving
+// rows — the filtered page is never materialized.
 type Project struct {
 	input  Operator
+	selIn  SelSource
 	exprs  []expr.Expr
 	schema *types.Schema
 	meter  *Meter
@@ -154,8 +204,10 @@ func NewProject(input Operator, exprs []expr.Expr, names []string, meter *Meter)
 		cols[i] = types.Column{Name: names[i], Type: e.Type()}
 		cost += e.Cost()
 	}
+	selIn, _ := input.(SelSource)
 	return &Project{
 		input:  input,
+		selIn:  selIn,
 		exprs:  exprs,
 		schema: types.NewSchema(cols...),
 		meter:  meter,
@@ -168,19 +220,30 @@ func (p *Project) Schema() *types.Schema { return p.schema }
 
 // Next implements Operator.
 func (p *Project) Next() (*column.Page, error) {
-	page, err := p.input.Next()
+	var page *column.Page
+	var sel []int
+	var err error
+	if p.selIn != nil {
+		page, sel, err = p.selIn.NextSel()
+	} else {
+		page, err = p.input.Next()
+	}
 	if err != nil || page == nil {
 		return nil, err
 	}
 	out := &column.Page{Schema: p.schema, Vectors: make([]*column.Vector, len(p.exprs))}
 	for i, e := range p.exprs {
-		vec, err := expr.Eval(e, page)
+		vec, err := expr.EvalOver(e, page, sel)
 		if err != nil {
 			return nil, err
 		}
 		out.Vectors[i] = vec
 	}
-	p.meter.charge(page.NumRows(), p.cost)
+	rows := page.NumRows()
+	if sel != nil {
+		rows = len(sel)
+	}
+	p.meter.charge(rows, p.cost)
 	return out, nil
 }
 
@@ -237,6 +300,11 @@ func DrainToPage(op Operator) (*column.Page, error) {
 		return nil, err
 	}
 	out := column.NewPage(op.Schema())
+	total := 0
+	for _, p := range pages {
+		total += p.NumRows()
+	}
+	out.Reserve(total)
 	for _, p := range pages {
 		out.AppendPage(p)
 	}

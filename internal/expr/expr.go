@@ -415,19 +415,13 @@ func Format(exprs []Expr) string {
 }
 
 // Eval evaluates the expression over every row of the page, returning a
-// result vector of e.Type(). The evaluator is row-at-a-time inside a
-// column-major loop; meter is incremented by Cost() per row when non-nil.
+// result vector of e.Type(). Evaluation is vectorized: typed kernels
+// (kernels.go) process whole column buffers with null-bitmap propagation,
+// falling back to the row-wise evalRow for nodes without kernels. The
+// result may share buffers with the page (a bare column reference is zero
+// copy); vectors are immutable by convention.
 func Eval(e Expr, page *column.Page) (*column.Vector, error) {
-	n := page.NumRows()
-	out := column.NewVector(e.Type())
-	for i := 0; i < n; i++ {
-		v, err := evalRow(e, page, i)
-		if err != nil {
-			return nil, err
-		}
-		out.Append(v)
-	}
-	return out, nil
+	return evalVec(e, page, nil)
 }
 
 // EvalRow evaluates the expression for a single row.
@@ -606,21 +600,17 @@ func evalLogic(op LogicOp, l, r types.Value) types.Value {
 }
 
 // EvalPredicate evaluates a boolean expression into a keep-mask; NULL
-// results are treated as false (SQL WHERE semantics).
+// results are treated as false (SQL WHERE semantics). It evaluates
+// through the selection-vector path, so AND/OR short-circuit: rows
+// already rejected by the left side never evaluate the right side (and
+// never surface its runtime errors). Callers that want the selection
+// directly should use EvalSelection.
 func EvalPredicate(e Expr, page *column.Page) ([]bool, error) {
-	if e.Type() != types.Bool {
-		return nil, fmt.Errorf("expr: predicate has type %s", e.Type())
+	sel, err := EvalSelection(e, page)
+	if err != nil {
+		return nil, err
 	}
-	n := page.NumRows()
-	keep := make([]bool, n)
-	for i := 0; i < n; i++ {
-		v, err := evalRow(e, page, i)
-		if err != nil {
-			return nil, err
-		}
-		keep[i] = !v.Null && v.B
-	}
-	return keep, nil
+	return column.SelToMask(sel, page.NumRows()), nil
 }
 
 // FoldConstants rewrites constant subtrees into literals. Errors during

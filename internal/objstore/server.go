@@ -271,13 +271,17 @@ func (s *Server) handleSelect(_ context.Context, payload []byte) ([]byte, error)
 			return nil, err
 		}
 		n := r.Meta().RowGroups[rg].NumRows
-		keep := make([]bool, n)
+		// Vectorized predicate evaluation into a selection vector of the
+		// surviving rows (kernels in internal/expr); only those rows are
+		// formatted.
+		var sel []int
 		if pred == nil {
-			for i := range keep {
-				keep[i] = true
+			sel = make([]int, n)
+			for i := range sel {
+				sel[i] = i
 			}
 		} else {
-			keep, err = expr.EvalPredicate(pred, page)
+			sel, err = expr.EvalSelection(pred, page)
 			if err != nil {
 				return nil, err
 			}
@@ -285,10 +289,7 @@ func (s *Server) handleSelect(_ context.Context, payload []byte) ([]byte, error)
 		}
 		st.RowsProcessed += n
 		record := make([]string, len(colIdx))
-		for row := 0; row < int(n); row++ {
-			if !keep[row] {
-				continue
-			}
+		for _, row := range sel {
 			for i, c := range colIdx {
 				record[i] = page.Vectors[c].Value(row).String()
 			}

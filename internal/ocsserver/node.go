@@ -158,6 +158,9 @@ func (n *StorageNode) handleExecute(ctx context.Context, payload []byte, send fu
 		if chunkRows > 0 {
 			if staged == nil {
 				staged = column.NewPage(page.Schema)
+				// Pages after a selective filter are small; reserve the
+				// chunk up front so coalescing appends never regrow.
+				staged.Reserve(chunkRows)
 			}
 			staged.AppendPage(page)
 			if staged.NumRows() < chunkRows {

@@ -149,14 +149,17 @@ func decodeChunk(data []byte, kind types.Kind, enc Encoding) (*column.Vector, er
 	}
 	validity := data[:vb]
 	data = data[vb:]
-	valid := func(i int) bool { return validity[i/8]&(1<<(uint(i)%8)) != 0 }
 
+	// Decode the validity bitmap once up front, then fill the typed
+	// payload slices directly: this is the scan path that feeds the
+	// vectorized kernels, so it must not box a types.Value per cell.
 	vec := column.NewVector(kind)
-	appendVal := func(i int, v types.Value) {
-		if valid(i) {
-			vec.Append(v)
-		} else {
-			vec.Append(types.NullValue(kind))
+	for i := 0; i < n; i++ {
+		if validity[i/8]&(1<<(uint(i)%8)) == 0 {
+			if vec.Nulls == nil {
+				vec.Nulls = make([]bool, n)
+			}
+			vec.Nulls[i] = true
 		}
 	}
 
@@ -167,22 +170,25 @@ func decodeChunk(data []byte, kind types.Kind, enc Encoding) (*column.Vector, er
 			if len(data) < 8*n {
 				return nil, ErrCorrupt
 			}
-			for i := 0; i < n; i++ {
-				appendVal(i, types.Value{Kind: kind, I: int64(binary.LittleEndian.Uint64(data[8*i:]))})
+			vec.Ints = make([]int64, n)
+			for i := range vec.Ints {
+				vec.Ints[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
 			}
 		case types.Float64:
 			if len(data) < 8*n {
 				return nil, ErrCorrupt
 			}
-			for i := 0; i < n; i++ {
-				appendVal(i, types.FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))))
+			vec.Floats = make([]float64, n)
+			for i := range vec.Floats {
+				vec.Floats[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
 			}
 		case types.Bool:
 			if len(data) < (n+7)/8 {
 				return nil, ErrCorrupt
 			}
-			for i := 0; i < n; i++ {
-				appendVal(i, types.BoolValue(data[i/8]&(1<<(uint(i)%8)) != 0))
+			vec.Bools = make([]bool, n)
+			for i := range vec.Bools {
+				vec.Bools[i] = data[i/8]&(1<<(uint(i)%8)) != 0
 			}
 		case types.String:
 			// Offsets (n+1 x u32) read on the fly — no materialized slice.
@@ -196,13 +202,14 @@ func decodeChunk(data []byte, kind types.Kind, enc Encoding) (*column.Vector, er
 			if int(total) > len(body) {
 				return nil, ErrCorrupt
 			}
+			vec.Strings = make([]string, n)
 			prev := binary.LittleEndian.Uint32(offs)
 			for i := 0; i < n; i++ {
 				cur := binary.LittleEndian.Uint32(offs[4*(i+1):])
 				if prev > cur || cur > total {
 					return nil, ErrCorrupt
 				}
-				appendVal(i, types.StringValue(string(body[prev:cur])))
+				vec.Strings[i] = string(body[prev:cur])
 				prev = cur
 			}
 		default:
@@ -233,17 +240,19 @@ func decodeChunk(data []byte, kind types.Kind, enc Encoding) (*column.Vector, er
 		if len(data) < 4*n {
 			return nil, ErrCorrupt
 		}
-		for i := 0; i < n; i++ {
+		vec.Strings = make([]string, n)
+		for i := range vec.Strings {
 			id := binary.LittleEndian.Uint32(data[4*i:])
 			if int(id) >= dictLen {
 				return nil, ErrCorrupt
 			}
-			appendVal(i, types.StringValue(dict[id]))
+			vec.Strings[i] = dict[id]
 		}
 	case RLE:
 		if kind != types.Int64 && kind != types.Date {
 			return nil, ErrCorrupt
 		}
+		vec.Ints = make([]int64, n)
 		i := 0
 		for i < n {
 			run, sz := binary.Uvarint(data)
@@ -259,15 +268,38 @@ func decodeChunk(data []byte, kind types.Kind, enc Encoding) (*column.Vector, er
 			if run == 0 || i+int(run) > n {
 				return nil, ErrCorrupt
 			}
-			for k := 0; k < int(run); k++ {
-				appendVal(i+k, types.Value{Kind: kind, I: v})
+			for k := i; k < i+int(run); k++ {
+				vec.Ints[k] = v
 			}
 			i += int(run)
 		}
 	default:
 		return nil, ErrCorrupt
 	}
+	zeroNullSlots(vec)
 	return vec, nil
+}
+
+// zeroNullSlots normalizes the payload under NULL slots to the zero value,
+// matching vectors built with Append. Nothing reads those slots, but the
+// invariant keeps decoded vectors bit-identical regardless of what the
+// writer stored there.
+func zeroNullSlots(vec *column.Vector) {
+	for i, isNull := range vec.Nulls {
+		if !isNull {
+			continue
+		}
+		switch vec.Kind {
+		case types.Int64, types.Date:
+			vec.Ints[i] = 0
+		case types.Float64:
+			vec.Floats[i] = 0
+		case types.String:
+			vec.Strings[i] = ""
+		case types.Bool:
+			vec.Bools[i] = false
+		}
+	}
 }
 
 // computeStats scans the vector for chunk statistics.

@@ -290,6 +290,11 @@ func Compare(a, b Value) int {
 	}
 }
 
+// CompareFloat orders two float64s under the engine's total order: NaN
+// sorts after everything and equal to itself. Exported so the vectorized
+// kernels (internal/expr) produce bit-identical results to Compare.
+func CompareFloat(a, b float64) int { return compareFloat(a, b) }
+
 func compareFloat(a, b float64) int {
 	switch {
 	case a < b:
