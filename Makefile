@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-paper faults check vet-vectorized
+.PHONY: build test bench bench-paper faults check vet-vectorized vet-telemetry
 
 build:
 	$(GO) build ./...
@@ -9,11 +9,15 @@ test:
 	$(GO) test ./...
 
 # bench runs the kernel/operator microbenchmarks (vectorized expression
-# kernels, filter selectivity sweep, hash aggregation, sort/top-N) and
-# archives the numbers as BENCH_PR3.json; the human-readable table still
-# prints on stderr. The end-to-end paper sweeps live under bench-paper.
+# kernels, filter selectivity sweep, hash aggregation, sort/top-N) plus the
+# tracing-overhead comparison (telemetry disabled vs enabled must stay
+# within 3%) and archives the numbers as BENCH_PR4.json; the
+# human-readable table still prints on stderr. The end-to-end paper sweeps
+# live under bench-paper.
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' ./internal/exec/ | $(GO) run ./cmd/benchjson > BENCH_PR3.json
+	{ $(GO) test -bench=. -benchmem -run '^$$' ./internal/exec/ ; \
+	  $(GO) test -bench=TracingOverhead -benchmem -run '^$$' ./internal/harness/ ; } \
+		| $(GO) run ./cmd/benchjson > BENCH_PR4.json
 
 # bench-paper regenerates the paper-evaluation benchmarks (full in-process
 # topology per iteration; slow).
@@ -41,11 +45,30 @@ vet-vectorized:
 	fi
 	@echo "vet-vectorized: exec hot path is EvalRow-free"
 
-# check is the verification gate: vet (plus the vectorized hot-path guard)
-# and the full suite under the race detector (the streaming RPC and
-# parallel scanner are concurrency-heavy), then the fault-injection matrix.
+# vet-telemetry keeps the metric-name manifest honest: every Metric* const
+# declared in internal/telemetry/names.go must have a registration site in
+# non-test code outside that package. Instrumentation cannot be deleted —
+# and dead names cannot accumulate — without this gate noticing.
+vet-telemetry:
+	@missing=""; \
+	for name in $$(grep -oE 'Metric[A-Za-z0-9]+' internal/telemetry/names.go | sort -u); do \
+		if ! grep -rqE "telemetry\.$$name\b" --include='*.go' --exclude='*_test.go' --exclude-dir=telemetry internal cmd; then \
+			missing="$$missing $$name"; \
+		fi; \
+	done; \
+	if [ -n "$$missing" ]; then \
+		echo "vet-telemetry: metric names with no registration site outside internal/telemetry:$$missing"; \
+		exit 1; \
+	fi
+	@echo "vet-telemetry: every manifest metric has a registration site"
+
+# check is the verification gate: vet (plus the vectorized hot-path and
+# telemetry-manifest guards) and the full suite under the race detector
+# (the streaming RPC and parallel scanner are concurrency-heavy), then the
+# fault-injection matrix.
 check:
 	$(GO) vet ./...
 	$(MAKE) vet-vectorized
+	$(MAKE) vet-telemetry
 	$(GO) test -race ./...
 	$(MAKE) faults

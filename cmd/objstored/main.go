@@ -2,7 +2,10 @@
 // SelectObjectContent API — the conventional-storage baseline the Hive
 // connector talks to.
 //
-//	objstored [-listen 127.0.0.1:9750]
+//	objstored [-listen 127.0.0.1:9750] [-metrics-listen 127.0.0.1:9751]
+//
+// With -metrics-listen, a debug HTTP server exposes /metrics and
+// /debug/traces for the store's RPC transport.
 package main
 
 import (
@@ -14,18 +17,36 @@ import (
 	"syscall"
 
 	"prestocs/internal/objstore"
+	"prestocs/internal/telemetry"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9750", "listen address")
+	metricsListen := flag.String("metrics-listen", "", "debug HTTP address for /metrics and /debug/traces (empty = disabled)")
 	flag.Parse()
 
 	srv := objstore.NewServer(objstore.NewStore())
+	var reg *telemetry.Registry
+	tracers := map[string]*telemetry.Tracer{}
+	if *metricsListen != "" {
+		reg = telemetry.NewRegistry()
+		srv.Metrics = reg
+		srv.Tracer = telemetry.NewTracer(0)
+		tracers["objstore"] = srv.Tracer
+	}
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("objstored: %v", err)
 	}
 	fmt.Printf("object store listening on %s\n", addr)
+	if reg != nil {
+		mAddr, stop, err := telemetry.Serve(*metricsListen, reg, tracers)
+		if err != nil {
+			log.Fatalf("objstored: metrics: %v", err)
+		}
+		defer stop()
+		fmt.Printf("metrics on http://%s/metrics, traces on http://%s/debug/traces\n", mAddr, mAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -3,14 +3,19 @@
 // object store (hive catalog), using the catalog JSON datagen wrote.
 //
 //	prestolite -catalog catalog.json -ocs <frontend-addr> [-objstore <addr>]
-//	           [-pushdown all|none|filter|...|auto] [-explain] "SELECT ..."
+//	           [-pushdown all|none|filter|...|auto] [-explain] [-profile]
+//	           "SELECT ..."
 //
 // Without a query argument it reads statements from stdin, one per line.
+// -profile prints an EXPLAIN ANALYZE-style per-query trace after each
+// statement: the engine-side span tree with stage timings (plan analysis,
+// Substrait generation, stream open, transfer wait, Arrow deserialize)
+// plus retry and fallback events.
 package main
 
 import (
-	"context"
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,6 +29,7 @@ import (
 	"prestocs/internal/metastore"
 	"prestocs/internal/objstore"
 	"prestocs/internal/ocsserver"
+	"prestocs/internal/telemetry"
 )
 
 func main() {
@@ -32,6 +38,7 @@ func main() {
 	objAddr := flag.String("objstore", "", "plain object store address (optional, enables hive catalog)")
 	pushdown := flag.String("pushdown", "all", "ocs pushdown mode (none, filter, ..., all, auto)")
 	explain := flag.Bool("explain", false, "print the optimized plan before results")
+	profile := flag.Bool("profile", false, "print a per-query trace profile after each statement")
 	flag.Parse()
 
 	if *ocsAddr == "" {
@@ -44,11 +51,20 @@ func main() {
 
 	eng := engine.New()
 	eng.DefaultCatalog = "ocs"
-	ocsCli := ocsserver.NewClient(*ocsAddr)
+	var ocsOpts []ocsserver.Option
+	if *profile {
+		eng.Tracer = telemetry.NewTracer(0)
+		eng.Metrics = telemetry.NewRegistry()
+		ocsOpts = append(ocsOpts, ocsserver.WithMetrics(eng.Metrics))
+	}
+	ocsCli := ocsserver.NewClient(*ocsAddr, ocsOpts...)
 	defer ocsCli.Close()
 	conn := ocsconn.New("ocs", ms, ocsCli)
 	eng.AddConnector(conn)
 	eng.AddEventListener(conn.Monitor())
+	if *profile {
+		conn.Monitor().SetMetrics(eng.Metrics)
+	}
 	if *objAddr != "" {
 		objCli := objstore.NewClient(*objAddr)
 		defer objCli.Close()
@@ -75,6 +91,9 @@ func main() {
 		fmt.Printf("-- %d rows in %v; pushed=%v; moved=%d bytes over %d splits\n",
 			res.Page.NumRows(), time.Since(start).Round(time.Millisecond),
 			res.Stats.PushedDown, scan.BytesMoved, res.Stats.Splits)
+		if *profile && res.Stats.TraceID != 0 {
+			telemetry.RenderTrace(os.Stdout, eng.Tracer.TraceSpans(res.Stats.TraceID))
+		}
 	}
 
 	if flag.NArg() > 0 {

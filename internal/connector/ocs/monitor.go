@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"prestocs/internal/engine"
+	"prestocs/internal/telemetry"
 )
 
 // Record is one completed query in the pushdown history.
@@ -34,6 +35,7 @@ type Monitor struct {
 	filled  bool
 	total   int64
 	success int64
+	metrics *telemetry.Registry
 }
 
 // NewMonitor creates a monitor keeping the last size records.
@@ -42,6 +44,15 @@ func NewMonitor(size int) *Monitor {
 		size = 64
 	}
 	return &Monitor{window: make([]Record, size), size: size}
+}
+
+// SetMetrics mirrors the monitor's lifetime totals into reg as the
+// ocs_monitor_* series, so the sliding-window history and the live
+// /metrics endpoint count from the same events.
+func (m *Monitor) SetMetrics(reg *telemetry.Registry) {
+	m.mu.Lock()
+	m.metrics = reg
+	m.mu.Unlock()
 }
 
 // QueryCompleted implements engine.EventListener.
@@ -70,6 +81,12 @@ func (m *Monitor) QueryCompleted(ev engine.QueryEvent) {
 	if rec.Succeeded {
 		m.success++
 	}
+	reg := m.metrics
+	reg.Counter(telemetry.MetricMonitorQueries).Inc()
+	if rec.Succeeded {
+		reg.Counter(telemetry.MetricMonitorSuccesses).Inc()
+	}
+	reg.Counter(telemetry.MetricMonitorFallbacks).Add(rec.Fallbacks)
 }
 
 // Window returns the records currently retained, oldest first.

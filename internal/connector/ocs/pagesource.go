@@ -17,6 +17,7 @@ import (
 	"prestocs/internal/plan"
 	"prestocs/internal/retry"
 	"prestocs/internal/substrait"
+	"prestocs/internal/telemetry"
 	"prestocs/internal/types"
 )
 
@@ -84,16 +85,30 @@ func (c *Connector) CreatePageSource(ctx context.Context, handle plan.TableHandl
 		return c.rawSource(ctx, h, split, stats)
 	}
 
+	// The scan span covers this split's whole pushdown lifetime; its
+	// children are the Table-3 stages (Substrait generation, stream open)
+	// and its accumulated durations the per-chunk transfer waits and
+	// Arrow deserialize time. It ends when the source is exhausted or
+	// closed.
+	ctx, scanSpan := telemetry.StartSpan(ctx, "connector.scan")
+	scanSpan.SetAttr("object", split.Object)
+
 	// Translate the extracted operators into Substrait IR (timed for
 	// Table 3).
 	start := time.Now()
+	_, genSpan := telemetry.StartSpan(ctx, "connector.substrait_gen")
 	irPlan, err := BuildSubstrait(h, split.Object)
 	if err != nil {
+		genSpan.End()
+		scanSpan.End()
 		return nil, err
 	}
 	if _, err := irPlan.Validate(); err != nil {
+		genSpan.End()
+		scanSpan.End()
 		return nil, fmt.Errorf("ocs: generated invalid Substrait plan: %w", err)
 	}
+	genSpan.End()
 	stats.AddSubstraitGen(time.Since(start))
 
 	// Open the result stream: residual operators start consuming batch 1
@@ -102,16 +117,22 @@ func (c *Connector) CreatePageSource(ctx context.Context, handle plan.TableHandl
 	// plus per-batch waits), so the Table 3 breakdown keeps its meaning
 	// under overlap.
 	start = time.Now()
-	rs, err := c.client.ExecuteStream(ctx, irPlan)
+	openCtx, openSpan := telemetry.StartSpan(ctx, "connector.stream_open")
+	rs, err := c.client.ExecuteStream(openCtx, irPlan)
+	openSpan.End()
 	if err != nil {
 		if retry.Transient(err) && ctx.Err() == nil {
-			return c.fallbackSource(ctx, h, split, stats, 0)
+			scanSpan.Event("pushdown-fallback", err.Error())
+			src, ferr := c.fallbackSource(ctx, h, split, stats, 0)
+			scanSpan.End()
+			return src, ferr
 		}
+		scanSpan.End()
 		return nil, fmt.Errorf("ocs: executing pushdown for %s: %w", split.Object, err)
 	}
 	stats.AddTransfer(time.Since(start))
 	return &streamSource{
-		ctx: ctx, conn: c, h: h, split: split,
+		ctx: ctx, conn: c, h: h, split: split, span: scanSpan,
 		rs: rs, schema: h.ScanSchema(), stats: stats, object: split.Object,
 	}, nil
 }
@@ -133,8 +154,10 @@ type streamSource struct {
 	rs            *ocsserver.ResultStream
 	schema        *types.Schema
 	stats         *engine.ScanStats
+	span          *telemetry.Span
 	object        string
 	prevBytes     int64
+	prevDecode    time.Duration
 	rowsDelivered int64
 	fb            exec.Operator
 	done          bool
@@ -144,7 +167,11 @@ func (s *streamSource) Schema() *types.Schema { return s.schema }
 
 func (s *streamSource) Next() (*column.Page, error) {
 	if s.fb != nil {
-		return s.fb.Next()
+		page, err := s.fb.Next()
+		if page == nil {
+			s.span.End()
+		}
+		return page, err
 	}
 	if s.done {
 		return nil, nil
@@ -152,11 +179,20 @@ func (s *streamSource) Next() (*column.Page, error) {
 	start := time.Now()
 	page, err := s.rs.Next()
 	stats := s.stats
-	stats.AddTransfer(time.Since(start))
+	wall := time.Since(start)
+	stats.AddTransfer(wall)
+	// Split the wait between the wire and the decoder for the span: the
+	// stats charge the whole wall as transfer (established Table-3
+	// semantics), the span separates the deserialize share.
+	decode := s.rs.DecodeTime() - s.prevDecode
+	s.prevDecode = s.rs.DecodeTime()
+	s.span.AddDuration("transfer_wait", wall-decode)
+	s.span.AddDuration("arrow_deserialize", decode)
 	s.accountBytes()
 	if err == io.EOF {
 		s.done = true
 		stats.AddStorageWork(s.rs.Stats())
+		s.span.End()
 		return nil, nil
 	}
 	if err != nil {
@@ -165,6 +201,8 @@ func (s *streamSource) Next() (*column.Page, error) {
 			return s.fb.Next()
 		}
 		s.done = true
+		s.span.Event("error", err.Error())
+		s.span.End()
 		return nil, fmt.Errorf("ocs: pushdown stream for %s: %w", s.object, err)
 	}
 	if page.NumCols() != s.schema.Len() {
@@ -200,8 +238,10 @@ func (s *streamSource) tryFallback(cause error) (exec.Operator, bool) {
 	}
 	s.rs.Close()
 	s.done = true
+	s.span.Event("pushdown-fallback", cause.Error())
 	fb, err := s.conn.fallbackSource(s.ctx, s.h, s.split, s.stats, s.rowsDelivered)
 	if err != nil {
+		s.span.End()
 		return nil, false // surface the original stream error instead
 	}
 	return fb, true
@@ -215,11 +255,37 @@ func (s *streamSource) accountBytes() {
 	}
 }
 
-// Close releases the stream; bytes received but not yet consumed are
-// still accounted so the movement meters stay truthful on early stop.
+// Bounds for the early-stop drain in Close: enough to consume a few
+// in-flight chunks plus the end frame when the node has already
+// finished, small enough that an actively producing stream is abandoned
+// quickly.
+const (
+	closeDrainChunks  = 32
+	closeDrainTimeout = 50 * time.Millisecond
+)
+
+// Close releases the stream when a pipeline stops early (a satisfied
+// LIMIT). An active fallback operator is closed in place of the — then
+// already dead — remote stream. Otherwise Close first attempts a bounded
+// drain so the trailer's storage-side stats are flushed into the scan
+// stats instead of silently dropped, then accounts bytes received but
+// not consumed, keeping the movement meters truthful.
 func (s *streamSource) Close() error {
+	defer s.span.End()
+	if s.fb != nil {
+		fb := s.fb
+		s.fb = nil
+		if c, ok := fb.(interface{ Close() error }); ok {
+			return c.Close()
+		}
+		return nil
+	}
 	if !s.done {
 		s.done = true
+		if s.rs.TryDrain(closeDrainChunks, closeDrainTimeout) {
+			s.stats.AddStorageWork(s.rs.Stats())
+			s.span.Event("drained-on-close", "")
+		}
 		s.accountBytes()
 		return s.rs.Close()
 	}
@@ -229,7 +295,10 @@ func (s *streamSource) Close() error {
 // rawSource is the no-pushdown path: full object transfer, local scan.
 func (c *Connector) rawSource(ctx context.Context, h *Handle, split engine.Split, stats *engine.ScanStats) (exec.Operator, error) {
 	start := time.Now()
-	data, work, err := c.client.Get(ctx, h.Table.Bucket, split.Object)
+	getCtx, sp := telemetry.StartSpan(ctx, "connector.raw_get")
+	sp.SetAttr("object", split.Object)
+	data, work, err := c.client.Get(getCtx, h.Table.Bucket, split.Object)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("ocs: get %s/%s: %w", h.Table.Bucket, split.Object, err)
 	}
@@ -276,6 +345,9 @@ func (c *Connector) rawSource(ctx context.Context, h *Handle, split engine.Split
 // the local replay's CPU is charged as compute-side deserialize work.
 func (c *Connector) fallbackSource(ctx context.Context, h *Handle, split engine.Split, stats *engine.ScanStats, skipRows int64) (exec.Operator, error) {
 	start := time.Now()
+	ctx, sp := telemetry.StartSpan(ctx, "connector.fallback_scan")
+	defer sp.End()
+	sp.SetAttr("object", split.Object)
 	data, work, err := c.client.Get(ctx, h.Table.Bucket, split.Object)
 	if err != nil {
 		return nil, fmt.Errorf("ocs: fallback get %s/%s: %w", h.Table.Bucket, split.Object, err)

@@ -14,6 +14,7 @@ import (
 	"prestocs/internal/optimizer"
 	"prestocs/internal/plan"
 	"prestocs/internal/sqlparser"
+	"prestocs/internal/telemetry"
 	"prestocs/internal/types"
 )
 
@@ -29,6 +30,14 @@ type Engine struct {
 	// Workers is the leaf-stage parallelism (like Presto task
 	// concurrency). Defaults to GOMAXPROCS.
 	Workers int
+
+	// Tracer, when set, gives every query a root span with one child per
+	// coordinator stage; the trace continues across RPC boundaries into
+	// the frontend and storage nodes. Metrics, when set, receives one
+	// observation per query for the engine_query_* series. Both may stay
+	// nil (no-op).
+	Tracer  *telemetry.Tracer
+	Metrics *telemetry.Registry
 }
 
 // New returns an engine with no connectors.
@@ -91,58 +100,87 @@ func (e *Engine) Execute(ctx context.Context, sql string, session *Session) (*Re
 	stats := &QueryStats{}
 	startTotal := time.Now()
 
-	// 1-2. Parse + analyze.
-	start := time.Now()
-	stmt, err := sqlparser.Parse(sql)
-	if err != nil {
+	// Root query span: the ambient tracer, registry and span travel in
+	// the context from here on, so the connector, retry loop and rpc
+	// client attach their spans and metrics without extra plumbing, and
+	// the trace continues across the wire into frontend and nodes.
+	ctx = telemetry.WithTracer(ctx, e.Tracer)
+	ctx = telemetry.WithRegistry(ctx, e.Metrics)
+	ctx, qspan := telemetry.StartSpan(ctx, "query")
+	if qspan != nil {
+		stats.TraceID = qspan.Trace
+	}
+	fail := func(err error) (*Result, error) {
+		e.observeQuery(qspan, stats, err)
 		return nil, err
 	}
-	logical, err := analyzer.Analyze(stmt, e, e.DefaultCatalog)
+
+	// 1-2. Parse + analyze.
+	start := time.Now()
+	_, stageSpan := telemetry.StartSpan(ctx, "engine.parse_analyze")
+	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
-		return nil, err
+		stageSpan.End()
+		return fail(err)
+	}
+	logical, err := analyzer.Analyze(stmt, e, e.DefaultCatalog)
+	stageSpan.End()
+	if err != nil {
+		return fail(err)
 	}
 	stats.ParseAnalyze = time.Since(start)
 
 	// 3. Global optimization.
 	start = time.Now()
+	_, stageSpan = telemetry.StartSpan(ctx, "engine.global_opt")
 	optimized, err := optimizer.Optimize(logical)
+	stageSpan.End()
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	stats.GlobalOpt = time.Since(start)
 
 	// 4. Connector-specific (local) optimization.
 	scan := plan.FindScan(optimized)
 	if scan == nil {
-		return nil, fmt.Errorf("engine: plan has no table scan")
+		return fail(fmt.Errorf("engine: plan has no table scan"))
 	}
 	conn, err := e.connector(scan.Handle.ConnectorName())
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	start = time.Now()
+	_, stageSpan = telemetry.StartSpan(ctx, "engine.connector_opt")
 	if opt := conn.PlanOptimizer(); opt != nil {
 		optimized, err = opt.Optimize(optimized, session)
 		if err != nil {
-			return nil, err
+			stageSpan.End()
+			return fail(err)
 		}
 	}
+	stageSpan.End()
 	stats.ConnectorOpt = time.Since(start)
 	stats.PlanText = plan.Format(optimized)
 
 	// 5-6. Split generation, scheduling, execution.
 	scan = plan.FindScan(optimized)
 	if scan == nil {
-		return nil, fmt.Errorf("engine: optimized plan lost its scan")
+		return fail(fmt.Errorf("engine: optimized plan lost its scan"))
 	}
 	if ph, ok := scan.Handle.(PushdownReporter); ok {
 		stats.PushedDown = ph.PushedOperators()
 		stats.UsedPushdown = len(stats.PushedDown) > 0
 	}
 	start = time.Now()
-	page, schema, err := e.run(ctx, optimized, scan, conn, stats)
+	execCtx, execSpan := telemetry.StartSpan(ctx, "engine.execution")
+	page, schema, err := e.run(execCtx, optimized, scan, conn, stats)
+	execSpan.End()
 	stats.Execution = time.Since(start)
 	stats.Total = time.Since(startTotal)
+	if err == nil {
+		stats.ResultRows = page.NumRows()
+	}
+	e.observeQuery(qspan, stats, err)
 
 	event := QueryEvent{SQL: sql, Catalog: scan.Catalog, Table: scan.Table, Stats: stats, Err: err}
 	e.mu.RLock()
@@ -154,7 +192,6 @@ func (e *Engine) Execute(ctx context.Context, sql string, session *Session) (*Re
 	if err != nil {
 		return nil, err
 	}
-	stats.ResultRows = page.NumRows()
 	return &Result{Schema: schema, Page: page, Stats: stats}, nil
 }
 

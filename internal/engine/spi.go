@@ -15,6 +15,7 @@ import (
 	"prestocs/internal/exec"
 	"prestocs/internal/objstore"
 	"prestocs/internal/plan"
+	"prestocs/internal/telemetry"
 )
 
 // Split is one schedulable unit of a table scan (one object).
@@ -176,6 +177,10 @@ type QueryStats struct {
 	PlanText     string
 	PushedDown   []string // operator kinds absorbed by the connector
 	UsedPushdown bool
+
+	// TraceID identifies the query's trace when the engine has a tracer
+	// (zero otherwise); prestolite's -profile flag renders it.
+	TraceID telemetry.TraceID
 }
 
 // QueryEvent is delivered to event listeners after each query (the

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"testing"
+	"time"
 
 	"prestocs/internal/compress"
 	"prestocs/internal/substrait"
@@ -137,4 +139,81 @@ func BenchmarkStreamingVsBuffered(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkTracingOverhead prices end-to-end tracing: the same paper
+// query through the full topology with spans on and off. The acceptance
+// bar is overhead-pct ≤ 3; `make bench` archives the numbers in
+// BENCH_PR4.json so the gap is tracked over time.
+//
+// Methodology — three choices that matter on shared hardware:
+//
+//   - ONE cluster, toggling the engine tracer between modes, instead of
+//     two clusters built with different configs. Distinct configurations
+//     allocate in different orders, and the resulting heap layouts alone
+//     bias query wall time by far more than the telemetry delta (both
+//     signs, up to ~25% observed) — a lottery that is sticky per process,
+//     so it does not average out. A single cluster holds the layout
+//     fixed. Nilling the engine tracer disables span creation in every
+//     layer: with no root span no trace ID crosses the wire, and the rpc
+//     server only adopts its own tracer for requests that arrive traced.
+//   - Modes INTERLEAVE batch by batch, so machine-load drift lands on
+//     both equally; sequential A-then-B phases sample different load.
+//   - The per-mode figure is the MEDIAN per-query latency, which a
+//     handful of GC pauses or noisy-neighbor stalls cannot drag around
+//     the way a mean can.
+func BenchmarkTracingOverhead(b *testing.B) {
+	d := benchDataset(b, "laghos")
+	c, err := StartClusterWith(2, Config{Telemetry: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	if err := c.Load(d); err != nil {
+		b.Fatal(err)
+	}
+	tracer, metrics := c.Engine.Tracer, c.Engine.Metrics
+	set := func(on bool) {
+		if on {
+			c.Engine.Tracer, c.Engine.Metrics = tracer, metrics
+		} else {
+			c.Engine.Tracer, c.Engine.Metrics = nil, nil
+		}
+	}
+	defer set(true)
+	modes := []bool{false, true} // [0] disabled, [1] enabled
+	// Warm up pools, page caches and the GC steady state before timing;
+	// cold-start costs are not what this measures.
+	for j := 0; j < 20; j++ {
+		for _, on := range modes {
+			set(on)
+			if _, err := c.Run("warmup", d.Query, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	samples := [2][]time.Duration{
+		make([]time.Duration, 0, b.N),
+		make([]time.Duration, 0, b.N),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, on := range modes {
+			set(on)
+			start := time.Now()
+			if _, err := c.Run("bench", d.Query, nil); err != nil {
+				b.Fatal(err)
+			}
+			samples[j] = append(samples[j], time.Since(start))
+		}
+	}
+	b.StopTimer()
+	var median [2]float64
+	for j, s := range samples {
+		sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+		median[j] = float64(s[len(s)/2].Nanoseconds())
+	}
+	b.ReportMetric(median[0], "disabled-ns/op")
+	b.ReportMetric(median[1], "enabled-ns/op")
+	b.ReportMetric((median[1]-median[0])/median[0]*100, "overhead-pct")
 }

@@ -19,6 +19,7 @@ import (
 	"prestocs/internal/metastore"
 	"prestocs/internal/objstore"
 	"prestocs/internal/ocsserver"
+	"prestocs/internal/telemetry"
 	"prestocs/internal/workload"
 )
 
@@ -38,20 +39,51 @@ type Cluster struct {
 	ObjCli  *objstore.Client
 	OCSConn *ocsconn.Connector
 	Params  costmodel.Params
+
+	// Metrics is the shared registry every layer writes into, and Tracers
+	// maps component labels ("engine", "frontend", "node0", ...) to their
+	// tracers. Both are nil unless the cluster was started with
+	// Config.Telemetry.
+	Metrics *telemetry.Registry
+	Tracers map[string]*telemetry.Tracer
+}
+
+// Config controls optional harness features.
+type Config struct {
+	// Telemetry threads one shared metrics registry and per-component
+	// tracers through the engine, the OCS cluster, the client transport
+	// and the pushdown monitor, so a query produces a single connected
+	// trace and every layer counts into the same /metrics series.
+	Telemetry bool
 }
 
 // StartCluster launches the topology with the given storage-node count.
 func StartCluster(storageNodes int) (*Cluster, error) {
+	return StartClusterWith(storageNodes, Config{})
+}
+
+// StartClusterWith is StartCluster with feature configuration.
+func StartClusterWith(storageNodes int, cfg Config) (*Cluster, error) {
 	c := &Cluster{Meta: metastore.New(), Params: costmodel.Default()}
 
-	ocsCluster, err := ocsserver.StartCluster(storageNodes)
+	var ocsCfg ocsserver.ClusterConfig
+	if cfg.Telemetry {
+		c.Metrics = telemetry.NewRegistry()
+		ocsCfg = ocsserver.ClusterConfig{Metrics: c.Metrics, Tracing: true}
+	}
+	ocsCluster, err := ocsserver.StartClusterWith(storageNodes, ocsCfg)
 	if err != nil {
 		return nil, err
 	}
 	c.OCS = ocsCluster
-	c.OCSCli = ocsserver.NewClient(ocsCluster.Addr)
+	var cliOpts []ocsserver.Option
+	if cfg.Telemetry {
+		cliOpts = append(cliOpts, ocsserver.WithMetrics(c.Metrics))
+	}
+	c.OCSCli = ocsserver.NewClient(ocsCluster.Addr, cliOpts...)
 
 	c.ObjSrv = objstore.NewServer(objstore.NewStore())
+	c.ObjSrv.Metrics = c.Metrics
 	objAddr, err := c.ObjSrv.Listen("127.0.0.1:0")
 	if err != nil {
 		c.Close()
@@ -65,6 +97,15 @@ func StartCluster(storageNodes int) (*Cluster, error) {
 	c.Engine.AddConnector(c.OCSConn)
 	c.Engine.AddConnector(hive.New(CatalogHive, c.Meta, c.ObjCli))
 	c.Engine.AddEventListener(c.OCSConn.Monitor())
+	if cfg.Telemetry {
+		c.Engine.Metrics = c.Metrics
+		c.Engine.Tracer = telemetry.NewTracer(0)
+		c.Tracers = map[string]*telemetry.Tracer{"engine": c.Engine.Tracer}
+		for label, tr := range ocsCluster.Tracers {
+			c.Tracers[label] = tr
+		}
+		c.OCSConn.Monitor().SetMetrics(c.Metrics)
+	}
 	return c, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"prestocs/internal/protowire"
 	"prestocs/internal/rpc"
 	"prestocs/internal/substrait"
+	"prestocs/internal/telemetry"
 	"prestocs/internal/types"
 )
 
@@ -29,6 +30,11 @@ const (
 type Server struct {
 	store *Store
 	rpc   *rpc.Server
+
+	// Metrics and Tracer feed the transport's telemetry; optional, set
+	// before Listen.
+	Metrics *telemetry.Registry
+	Tracer  *telemetry.Tracer
 }
 
 // NewServer wraps a store.
@@ -43,7 +49,11 @@ func NewServer(store *Store) *Server {
 }
 
 // Listen binds and serves; returns the bound address.
-func (s *Server) Listen(addr string) (string, error) { return s.rpc.Listen(addr) }
+func (s *Server) Listen(addr string) (string, error) {
+	s.rpc.Metrics = s.Metrics
+	s.rpc.Tracer = s.Tracer
+	return s.rpc.Listen(addr)
+}
 
 // Close shuts the server down.
 func (s *Server) Close() error { return s.rpc.Close() }

@@ -13,6 +13,7 @@ import (
 	"prestocs/internal/retry"
 	"prestocs/internal/rpc"
 	"prestocs/internal/substrait"
+	"prestocs/internal/telemetry"
 	"prestocs/internal/types"
 )
 
@@ -47,6 +48,14 @@ func WithRetryPolicy(p retry.Policy) Option {
 // n rows for this client's queries; 0 keeps the node's own default.
 func WithChunkRows(n int) Option {
 	return func(c *Client) { c.chunkRows = n }
+}
+
+// WithMetrics attaches a metrics registry to the client's transport, so
+// per-method RPC latency, byte and pool counters are recorded. Tracing
+// needs no option: the rpc client picks the tracer up from each call's
+// context.
+func WithMetrics(reg *telemetry.Registry) Option {
+	return func(c *Client) { c.rpc.Metrics = reg }
 }
 
 // NewClient dials an OCS frontend. With no options it behaves like the
@@ -138,6 +147,7 @@ type ResultStream struct {
 	schema *types.Schema
 	stats  objstore.WorkStats
 	bytes  int64
+	decode time.Duration
 	done   bool
 }
 
@@ -203,8 +213,16 @@ func (rs *ResultStream) Next() (*column.Page, error) {
 		return nil, err
 	}
 	rs.bytes += int64(len(chunk))
-	return arrowlite.DecodeBatchMsg(chunk, rs.schema)
+	start := time.Now()
+	page, err := arrowlite.DecodeBatchMsg(chunk, rs.schema)
+	rs.decode += time.Since(start)
+	return page, err
 }
+
+// DecodeTime is the cumulative wall time spent deserializing Arrow batch
+// messages, a subset of the time Next calls take; the connector reports
+// it as the arrow_deserialize stage of the scan span.
+func (rs *ResultStream) DecodeTime() time.Duration { return rs.decode }
 
 func (rs *ResultStream) decodeTrailer() error {
 	_, stats, err := decodeBytesStats(rs.cs.Trailer(), 0, 1)
@@ -253,6 +271,24 @@ func (rs *ResultStream) Stats() objstore.WorkStats { return rs.stats }
 
 // ArrowBytes returns the Arrow payload bytes received so far.
 func (rs *ResultStream) ArrowBytes() int64 { return rs.bytes }
+
+// TryDrain consumes the remainder of the stream within the given budget
+// so the trailer — and with it the storage-side Stats — becomes final
+// even when the caller stops early (a LIMIT satisfied mid-stream). It
+// reports whether the clean end of stream was reached; drained chunk
+// bytes count toward ArrowBytes since they did cross the network.
+func (rs *ResultStream) TryDrain(maxChunks int, timeout time.Duration) bool {
+	if rs.done {
+		return true
+	}
+	n, ok := rs.cs.TryDrain(maxChunks, timeout)
+	rs.bytes += n
+	if !ok {
+		return false
+	}
+	rs.done = true
+	return rs.decodeTrailer() == nil
+}
 
 // Close releases the stream; if it has not been drained the underlying
 // connection is discarded.
@@ -367,13 +403,42 @@ type Cluster struct {
 	Front    *Frontend
 	Addr     string // frontend address
 	NodeAddr []string
+
+	// Metrics is the shared registry all components write into (nil when
+	// the cluster was started without telemetry); Tracers maps component
+	// labels ("frontend", "node0", ...) to their tracers, ready for
+	// telemetry.NewMux.
+	Metrics *telemetry.Registry
+	Tracers map[string]*telemetry.Tracer
+}
+
+// ClusterConfig configures telemetry for an in-process cluster.
+type ClusterConfig struct {
+	// Metrics, when non-nil, receives transport, chunk and scan-pool
+	// metrics from every component.
+	Metrics *telemetry.Registry
+	// Tracing gives every component its own tracer so a query's trace
+	// connects across the frontend and all storage nodes.
+	Tracing bool
 }
 
 // StartCluster launches n storage nodes and a frontend on loopback.
 func StartCluster(n int) (*Cluster, error) {
-	c := &Cluster{}
+	return StartClusterWith(n, ClusterConfig{})
+}
+
+// StartClusterWith is StartCluster with telemetry wiring: every component
+// shares cfg.Metrics, and with cfg.Tracing each gets its own tracer,
+// exposed in Cluster.Tracers.
+func StartClusterWith(n int, cfg ClusterConfig) (*Cluster, error) {
+	c := &Cluster{Metrics: cfg.Metrics, Tracers: map[string]*telemetry.Tracer{}}
 	for i := 0; i < n; i++ {
 		node := NewStorageNode(i)
+		node.Metrics = cfg.Metrics
+		if cfg.Tracing {
+			node.Tracer = telemetry.NewTracer(0)
+			c.Tracers[node.nodeLabel()] = node.Tracer
+		}
 		addr, err := node.Listen("127.0.0.1:0")
 		if err != nil {
 			c.Shutdown()
@@ -386,6 +451,11 @@ func StartCluster(n int) (*Cluster, error) {
 	if err != nil {
 		c.Shutdown()
 		return nil, err
+	}
+	front.Metrics = cfg.Metrics
+	if cfg.Tracing {
+		front.Tracer = telemetry.NewTracer(0)
+		c.Tracers["frontend"] = front.Tracer
 	}
 	c.Front = front
 	addr, err := c.Front.Listen("127.0.0.1:0")

@@ -7,7 +7,9 @@
 package ocsserver
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"prestocs/internal/column"
@@ -19,6 +21,7 @@ import (
 	"prestocs/internal/parquetlite"
 	"prestocs/internal/rpc"
 	"prestocs/internal/substrait"
+	"prestocs/internal/telemetry"
 )
 
 // execEnv carries the shared state of one local plan execution: the
@@ -32,6 +35,19 @@ type execEnv struct {
 	stats    objstore.WorkStats
 	scanPool int
 	closers  []func()
+
+	// ctx carries the ambient tracer, span and metrics registry of the
+	// request this execution serves; nil means no telemetry (in-process
+	// ExecuteLocal callers).
+	ctx context.Context
+}
+
+// context returns the env's request context, never nil.
+func (env *execEnv) context() context.Context {
+	if env.ctx == nil {
+		return context.Background()
+	}
+	return env.ctx
 }
 
 func newExecEnv(scanPool int) *execEnv {
@@ -205,13 +221,18 @@ func compileRead(store *objstore.Store, read *substrait.ReadRel, pruneWith expr.
 	idx := 0
 	var prevRead, prevDecompressed int64
 	codec := r.Meta().Codec
+	scanned := telemetry.RegistryFrom(env.context()).Counter(telemetry.MetricScanPoolRowGroups)
 	return exec.NewFuncSource(outSchema, func() (*column.Page, error) {
 		if idx >= len(groups) {
 			return nil, nil
 		}
 		rg := groups[idx]
 		idx++
+		_, sp := telemetry.StartSpan(env.context(), "scan.rowgroup")
+		sp.SetAttr("group", strconv.Itoa(rg))
 		page, err := r.ReadRowGroup(rg, cols)
+		sp.End()
+		scanned.Inc()
 		if err != nil {
 			return nil, err
 		}

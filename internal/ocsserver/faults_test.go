@@ -11,6 +11,7 @@ import (
 	"prestocs/internal/faultnet"
 	"prestocs/internal/retry"
 	"prestocs/internal/rpc"
+	"prestocs/internal/telemetry"
 )
 
 // proxiedCluster stands up a one-node cluster with a fault proxy between
@@ -67,9 +68,44 @@ func TestExecuteWithoutRetryFailsOnKill(t *testing.T) {
 	if err := cli.Put(ctx, "b", "o", meshObject(t, compress.None)); err != nil {
 		t.Fatal(err)
 	}
+	// The Put pooled a connection; an Execute on it that dies before any
+	// response bytes would be healed by the transport's stale-pool redial
+	// regardless of the retry policy. Use a fresh client so the stream
+	// opens on a first-use connection, where the redial rule does not
+	// apply and the kill must surface.
+	fresh := NewClient(proxy.Addr(), WithRetryPolicy(retry.None()))
+	defer fresh.Close()
 	proxy.KillOnce(1)
-	if _, err := cli.Execute(ctx, filterPlan(t, "b", "o")); err == nil {
-		t.Fatal("retry.None client survived a killed stream open")
+	if _, err := fresh.Execute(ctx, filterPlan(t, "b", "o")); err == nil {
+		t.Fatal("retry.None client survived a killed stream open on a fresh connection")
+	}
+}
+
+func TestStreamRedialHealsPooledKillWithoutRetryPolicy(t *testing.T) {
+	// Counterpart to the test above: on a pooled connection the transport
+	// itself redials once when the failure precedes any response bytes,
+	// so even a retry.None client survives a one-shot kill at stream
+	// open. This is the satellite stale-pool fix observable end to end.
+	reg := telemetry.NewRegistry()
+	_, proxy, cli := proxiedCluster(t, WithRetryPolicy(retry.None()), WithMetrics(reg))
+	ctx := context.Background()
+	if err := cli.Put(ctx, "b", "o", meshObject(t, compress.None)); err != nil {
+		t.Fatal(err)
+	}
+	proxy.KillOnce(1)
+	res, err := cli.Execute(ctx, filterPlan(t, "b", "o"))
+	if err != nil {
+		t.Fatalf("execute over killed pooled conn = %v", err)
+	}
+	total := 0
+	for _, p := range res.Pages {
+		total += p.NumRows()
+	}
+	if total != 51 {
+		t.Errorf("rows after redial = %d", total)
+	}
+	if n := reg.CounterValue(telemetry.MetricRPCPoolRedials); n != 1 {
+		t.Errorf("pool redials = %d, want 1", n)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"prestocs/internal/retry"
 	"prestocs/internal/rpc"
 	"prestocs/internal/substrait"
+	"prestocs/internal/telemetry"
 )
 
 // RPC methods exposed by the frontend (application-facing).
@@ -36,6 +37,12 @@ type Frontend struct {
 	// Retry governs node fan-out retries; set before Listen.
 	Retry retry.Policy
 
+	// Metrics receives transport metrics for both the application-facing
+	// server and the node-facing clients; Tracer continues traces arriving
+	// in request headers. Both are optional and must be set before Listen.
+	Metrics *telemetry.Registry
+	Tracer  *telemetry.Tracer
+
 	mu        sync.RWMutex
 	placement map[string]int // "bucket/key" -> node index
 }
@@ -59,7 +66,14 @@ func NewFrontend(nodeAddrs []string) (*Frontend, error) {
 }
 
 // Listen binds the frontend's RPC server.
-func (f *Frontend) Listen(addr string) (string, error) { return f.rpc.Listen(addr) }
+func (f *Frontend) Listen(addr string) (string, error) {
+	f.rpc.Metrics = f.Metrics
+	f.rpc.Tracer = f.Tracer
+	for _, n := range f.nodes {
+		n.Metrics = f.Metrics
+	}
+	return f.rpc.Listen(addr)
+}
 
 // Close shuts down the frontend and its node connections.
 func (f *Frontend) Close() error {
@@ -113,6 +127,10 @@ func (f *Frontend) handleExecute(ctx context.Context, payload []byte, send func(
 		return nil, rpc.WithCode(fmt.Errorf("ocs: plan has no read relation"), rpc.CodeInvalid)
 	}
 	node := f.nodeFor(read.Bucket, read.Object)
+	ctx, span := telemetry.StartSpan(ctx, "frontend.forward")
+	defer span.End()
+	span.SetAttr("node", fmt.Sprintf("node%d", node))
+	span.SetAttr("object", read.Bucket+"/"+read.Object)
 	var trailer []byte
 	err = f.Retry.Do(ctx, func() error {
 		st, err := f.nodes[node].Stream(ctx, NodeMethodExecute, payload)

@@ -11,6 +11,7 @@ import (
 	"prestocs/internal/protowire"
 	"prestocs/internal/rpc"
 	"prestocs/internal/substrait"
+	"prestocs/internal/telemetry"
 	"prestocs/internal/types"
 )
 
@@ -40,6 +41,13 @@ type StorageNode struct {
 	// Clients may override per query via the execute-request envelope.
 	// Set before the first query.
 	ChunkRows int
+
+	// Metrics receives transport, chunk-throughput and scan-pool metrics;
+	// Tracer continues traces arriving in request headers, covering the
+	// node's execute handler and per-row-group scans. Both are optional
+	// and must be set before Listen.
+	Metrics *telemetry.Registry
+	Tracer  *telemetry.Tracer
 
 	faultMu   sync.Mutex
 	execFault error
@@ -76,7 +84,14 @@ func NewStorageNode(id int) *StorageNode {
 func (n *StorageNode) Store() *objstore.Store { return n.store }
 
 // Listen binds the node's RPC server.
-func (n *StorageNode) Listen(addr string) (string, error) { return n.rpc.Listen(addr) }
+func (n *StorageNode) Listen(addr string) (string, error) {
+	n.rpc.Metrics = n.Metrics
+	n.rpc.Tracer = n.Tracer
+	return n.rpc.Listen(addr)
+}
+
+// nodeLabel is the metric label value identifying this node.
+func (n *StorageNode) nodeLabel() string { return fmt.Sprintf("node%d", n.ID) }
 
 // Close shuts the node down.
 func (n *StorageNode) Close() error { return n.rpc.Close() }
@@ -92,6 +107,11 @@ func (n *StorageNode) handleExecute(ctx context.Context, payload []byte, send fu
 	if fault := n.executeFault(); fault != nil {
 		return nil, rpc.WithCode(fmt.Errorf("node %d: %w", n.ID, fault), rpc.CodeUnavailable)
 	}
+	ctx, span := telemetry.StartSpan(ctx, "node.execute")
+	defer span.End()
+	span.SetAttr("node", n.nodeLabel())
+	chunksSent := n.Metrics.Counter(telemetry.MetricNodeChunksSent, "node", n.nodeLabel())
+	chunkBytes := n.Metrics.Counter(telemetry.MetricNodeChunkBytes, "node", n.nodeLabel())
 	planBytes, chunkRows := decodeExecuteRequest(payload)
 	if chunkRows <= 0 {
 		chunkRows = n.ChunkRows
@@ -109,6 +129,7 @@ func (n *StorageNode) handleExecute(ctx context.Context, payload []byte, send fu
 		return nil, rpc.WithCode(fmt.Errorf("node %d: %w", n.ID, err), rpc.CodeInvalid)
 	}
 	env := newExecEnv(n.ScanPool)
+	env.ctx = ctx
 	defer env.close()
 	op, err := compilePlan(n.store, plan, env)
 	if err != nil {
@@ -125,6 +146,8 @@ func (n *StorageNode) handleExecute(ctx context.Context, payload []byte, send fu
 		}
 		*buf = msg
 		sentSchema = true
+		chunksSent.Inc()
+		chunkBytes.Add(int64(len(msg)))
 		return send(msg)
 	}
 	sendBatch := func(page *column.Page) error {
@@ -133,6 +156,8 @@ func (n *StorageNode) handleExecute(ctx context.Context, payload []byte, send fu
 			return err
 		}
 		*buf = msg
+		chunksSent.Inc()
+		chunkBytes.Add(int64(len(msg)))
 		return send(msg)
 	}
 
@@ -183,8 +208,11 @@ func (n *StorageNode) handleExecute(ctx context.Context, payload []byte, send fu
 		}
 	}
 	env.close()
+	st := env.finish()
+	span.SetAttr("bytes_read", fmt.Sprint(st.BytesRead))
+	span.SetAttr("rows_processed", fmt.Sprint(st.RowsProcessed))
 	e := protowire.NewEncoder()
-	encodeWorkStats(e, 1, *env.finish())
+	encodeWorkStats(e, 1, *st)
 	return e.Encoded(), nil
 }
 

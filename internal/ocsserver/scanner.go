@@ -1,6 +1,7 @@
 package ocsserver
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -8,6 +9,7 @@ import (
 	"prestocs/internal/compress"
 	"prestocs/internal/exec"
 	"prestocs/internal/parquetlite"
+	"prestocs/internal/telemetry"
 	"prestocs/internal/types"
 )
 
@@ -59,6 +61,17 @@ func parallelScan(env *execEnv, data []byte, groups, cols []int, outSchema *type
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 
+	// Scan-pool observability: queued counts row groups not yet claimed by
+	// a worker, active counts row groups being read right now, scanned is
+	// the lifetime row-group total. Gauges are shared across concurrent
+	// queries, so all updates are deltas; the closer returns the unclaimed
+	// remainder when a scan stops early (leaf Limit).
+	reg := telemetry.RegistryFrom(env.context())
+	queued := reg.Gauge(telemetry.MetricScanPoolQueued)
+	active := reg.Gauge(telemetry.MetricScanPoolActive)
+	scanned := reg.Counter(telemetry.MetricScanPoolRowGroups)
+	queued.Add(int64(len(groups)))
+
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -78,6 +91,7 @@ func parallelScan(env *execEnv, data []byte, groups, cols []int, outSchema *type
 					if idx >= len(groups) {
 						return
 					}
+					queued.Add(-1)
 					slots[idx] <- scanSlot{err: err}
 				}
 			}
@@ -93,7 +107,14 @@ func parallelScan(env *execEnv, data []byte, groups, cols []int, outSchema *type
 				if idx >= len(groups) {
 					return
 				}
+				queued.Add(-1)
+				active.Add(1)
+				_, sp := telemetry.StartSpan(env.context(), "scan.rowgroup")
+				sp.SetAttr("group", strconv.Itoa(groups[idx]))
 				page, err := r.ReadRowGroup(groups[idx], cols)
+				sp.End()
+				active.Add(-1)
+				scanned.Inc()
 				deltaDec := r.BytesDecompressed - prevDec
 				env.addStatsDelta(r.BytesRead-prevRead, deltaDec,
 					float64(deltaDec)*compress.DecompressCostPerByte(codec))
@@ -106,6 +127,11 @@ func parallelScan(env *execEnv, data []byte, groups, cols []int, outSchema *type
 	env.closers = append(env.closers, func() {
 		stop()
 		wg.Wait()
+		// Return the unclaimed remainder so the queue-depth gauge does not
+		// drift when a scan is abandoned early.
+		if claimed := int(cursor.Load()); claimed < len(groups) {
+			queued.Add(int64(claimed - len(groups)))
+		}
 	})
 
 	next := 0

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"prestocs/internal/rpc"
+	"prestocs/internal/telemetry"
 )
 
 // Policy describes a bounded retry loop.
@@ -97,11 +98,16 @@ func Permanent(err error) error {
 
 // Do runs op until it succeeds, returns a non-transient or Permanent
 // error, the attempt budget is exhausted, or ctx is done. Backoff sleeps
-// are interruptible by ctx.
+// are interruptible by ctx. Retries are observable through the context:
+// each retried attempt bumps the retry_attempts counter in the ambient
+// telemetry registry and lands as a "retry" event on the ambient span,
+// and an exhausted budget bumps retry_giveups.
 func (p Policy) Do(ctx context.Context, op func() error) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	reg := telemetry.RegistryFrom(ctx)
+	span := telemetry.SpanFrom(ctx)
 	attempts := p.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -115,9 +121,18 @@ func (p Policy) Do(ctx context.Context, op func() error) error {
 		if errors.As(err, &pe) {
 			return pe.err
 		}
-		if err == nil || attempt+1 >= attempts || !Transient(err) {
+		if err == nil || !Transient(err) {
 			return err
 		}
+		if attempt+1 >= attempts {
+			if attempts > 1 {
+				reg.Counter(telemetry.MetricRetryGiveups).Inc()
+				span.Event("retry-giveup", err.Error())
+			}
+			return err
+		}
+		reg.Counter(telemetry.MetricRetryAttempts).Inc()
+		span.Event("retry", err.Error())
 		t := time.NewTimer(p.Delay(attempt))
 		select {
 		case <-ctx.Done():

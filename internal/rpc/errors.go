@@ -59,6 +59,19 @@ var (
 	ErrUnavailable = errors.New("rpc: unavailable")
 )
 
+// ErrFrameTooLarge marks a frame rejected on the send side for exceeding
+// the transport's frame-length limit. It carries CodeInvalid (the
+// payload will not shrink on retry), so retry policies and the pushdown
+// fallback classify it as permanent.
+var ErrFrameTooLarge = errors.New("rpc: frame exceeds size limit")
+
+// oversizeError builds the send-side rejection for a frame of frameLen
+// bytes. The connection has not been written to and remains usable.
+func oversizeError(frameLen int) error {
+	return WithCode(fmt.Errorf("%w: frame length %d exceeds limit %d",
+		ErrFrameTooLarge, frameLen, maxFrameLimit.Load()), CodeInvalid)
+}
+
 // sentinel returns the errors.Is target for a code, nil when none.
 func (c Code) sentinel() error {
 	switch c {

@@ -11,9 +11,10 @@
 // kind 0 = request, 1 = response-ok, 2 = response-error (payload is one
 // code byte followed by the error message), 3 = stream-chunk, 4 =
 // stream-end (payload is the stream trailer). A request payload begins
-// with a u64 deadline (unix microseconds, 0 = none) that the server
-// turns into the handler's context deadline; the caller's payload
-// follows. Responses echo an empty method name. A unary call is one
+// with a fixed header — u64 deadline (unix microseconds, 0 = none), u64
+// trace ID and u64 parent span ID (0 = no trace) — that the server turns
+// into the handler's context deadline and trace context; the caller's
+// payload follows. Responses echo an empty method name. A unary call is one
 // request frame answered by one ok/error frame; a streaming call is one
 // request frame answered by any number of chunk frames terminated by an
 // end frame — or by an error frame, which is valid mid-stream and aborts
@@ -38,6 +39,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"prestocs/internal/telemetry"
 )
 
 const (
@@ -48,10 +51,18 @@ const (
 	frameEnd      = 4
 	maxFrameBytes = 1 << 30
 
-	// deadlineSize prefixes every request payload: u64 unix-micro
-	// deadline, 0 meaning none.
-	deadlineSize = 8
+	// reqHeaderSize prefixes every request payload: u64 unix-micro
+	// deadline (0 = none), u64 trace ID and u64 parent span ID (0 = no
+	// trace).
+	reqHeaderSize = 24
 )
+
+// maxFrameLimit is the enforced frame-length ceiling, an atomic so tests
+// can exercise the oversize path without allocating gigabyte payloads
+// (and without racing still-draining server goroutines).
+var maxFrameLimit atomic.Uint32
+
+func init() { maxFrameLimit.Store(maxFrameBytes) }
 
 // ErrShutdown reports use of a closed client or server.
 var ErrShutdown = errors.New("rpc: connection shut down")
@@ -84,65 +95,86 @@ func (m *Meter) Reset() {
 	m.calls.Store(0)
 }
 
+// writeFrame ships one frame. Oversized frames are rejected before any
+// byte hits the wire — writing a frame the peer's readFrame would refuse
+// poisons the connection with a confusing remote "bad frame length", so
+// the clear error happens on the sending side and the connection stays
+// usable. On partial header or payload writes the bytes actually written
+// are still returned, so transport meters never undercount.
 func writeFrame(w io.Writer, kind byte, method string, payload []byte) (int64, error) {
 	frameLen := 1 + 4 + len(method) + len(payload)
+	if uint64(frameLen) > uint64(maxFrameLimit.Load()) {
+		return 0, oversizeError(frameLen)
+	}
 	hdr := make([]byte, 0, 9+len(method))
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(frameLen))
 	hdr = append(hdr, kind)
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(method)))
 	hdr = append(hdr, method...)
-	if _, err := w.Write(hdr); err != nil {
-		return 0, err
+	n, err := w.Write(hdr)
+	if err != nil {
+		return int64(n), err
 	}
-	if _, err := w.Write(payload); err != nil {
-		return 0, err
+	pn, err := w.Write(payload)
+	if err != nil {
+		return int64(n + pn), err
 	}
 	return int64(4 + frameLen), nil
 }
 
 // writeRequest sends a request frame whose payload is prefixed with the
-// caller's deadline so the server can honor it on its side of the wire.
-func writeRequest(w io.Writer, method string, deadline time.Time, payload []byte) (int64, error) {
-	body := make([]byte, 0, deadlineSize+len(payload))
+// caller's deadline and trace context so the server can honor both on
+// its side of the wire.
+func writeRequest(w io.Writer, method string, deadline time.Time, trace telemetry.TraceID, parent telemetry.SpanID, payload []byte) (int64, error) {
+	body := make([]byte, 0, reqHeaderSize+len(payload))
 	var micros uint64
 	if !deadline.IsZero() {
 		micros = uint64(deadline.UnixMicro())
 	}
 	body = binary.LittleEndian.AppendUint64(body, micros)
+	body = binary.LittleEndian.AppendUint64(body, uint64(trace))
+	body = binary.LittleEndian.AppendUint64(body, uint64(parent))
 	body = append(body, payload...)
 	return writeFrame(w, frameRequest, method, body)
 }
 
-// splitRequest strips the deadline prefix from a request payload.
-func splitRequest(payload []byte) (time.Time, []byte, error) {
-	if len(payload) < deadlineSize {
-		return time.Time{}, nil, fmt.Errorf("rpc: request frame missing deadline header")
+// splitRequest strips the deadline + trace prefix from a request payload.
+func splitRequest(payload []byte) (time.Time, telemetry.TraceID, telemetry.SpanID, []byte, error) {
+	if len(payload) < reqHeaderSize {
+		return time.Time{}, 0, 0, nil, fmt.Errorf("rpc: request frame missing header")
 	}
-	micros := binary.LittleEndian.Uint64(payload[:deadlineSize])
+	micros := binary.LittleEndian.Uint64(payload[:8])
+	trace := telemetry.TraceID(binary.LittleEndian.Uint64(payload[8:16]))
+	parent := telemetry.SpanID(binary.LittleEndian.Uint64(payload[16:24]))
 	var deadline time.Time
 	if micros != 0 {
 		deadline = time.UnixMicro(int64(micros))
 	}
-	return deadline, payload[deadlineSize:], nil
+	return deadline, trace, parent, payload[reqHeaderSize:], nil
 }
 
+// readFrame reads one frame. total reports bytes consumed from r even on
+// error, so callers can keep their meters truthful and distinguish "the
+// peer vanished before answering" (total == 0) from a mid-frame failure.
 func readFrame(r io.Reader) (kind byte, method string, payload []byte, total int64, err error) {
 	var lenBuf [4]byte
-	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, "", nil, 0, err
+	n, err := io.ReadFull(r, lenBuf[:])
+	if err != nil {
+		return 0, "", nil, int64(n), err
 	}
 	frameLen := binary.LittleEndian.Uint32(lenBuf[:])
-	if frameLen < 5 || frameLen > maxFrameBytes {
-		return 0, "", nil, 0, fmt.Errorf("rpc: bad frame length %d", frameLen)
+	if frameLen < 5 || frameLen > maxFrameLimit.Load() {
+		return 0, "", nil, 4, fmt.Errorf("rpc: bad frame length %d", frameLen)
 	}
 	body := make([]byte, frameLen)
-	if _, err = io.ReadFull(r, body); err != nil {
-		return 0, "", nil, 0, err
+	n, err = io.ReadFull(r, body)
+	if err != nil {
+		return 0, "", nil, int64(4 + n), err
 	}
 	kind = body[0]
 	mLen := binary.LittleEndian.Uint32(body[1:5])
 	if 5+mLen > frameLen {
-		return 0, "", nil, 0, fmt.Errorf("rpc: bad method length %d", mLen)
+		return 0, "", nil, int64(4 + frameLen), fmt.Errorf("rpc: bad method length %d", mLen)
 	}
 	method = string(body[5 : 5+mLen])
 	payload = body[5+mLen:]
@@ -152,6 +184,15 @@ func readFrame(r io.Reader) (kind byte, method string, payload []byte, total int
 // Server dispatches incoming calls to registered handlers.
 type Server struct {
 	Meter Meter
+
+	// Metrics, when set, receives per-method server latency and byte
+	// counts. Set before Listen.
+	Metrics *telemetry.Registry
+	// Tracer, when set, records a server span for every request that
+	// carries trace context in its frame header; the span (and the
+	// tracer) ride the handler context so deeper layers extend the
+	// caller's trace. Set before Listen.
+	Tracer *telemetry.Tracer
 
 	mu       sync.RWMutex
 	handlers map[string]Handler
@@ -246,25 +287,36 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer s.trackConn(conn, false)
 	for {
 		kind, method, payload, n, err := readFrame(conn)
+		s.Meter.received.Add(n)
 		if err != nil {
 			return
 		}
-		s.Meter.received.Add(n)
+		s.Metrics.Counter(telemetry.MetricRPCServerRecvBytes, "method", method).Add(n)
 		if kind != frameRequest {
 			return
 		}
-		deadline, body, err := splitRequest(payload)
+		deadline, trace, parent, body, err := splitRequest(payload)
 		if err != nil {
 			return
 		}
+		ctx, cancel := s.requestContext(deadline)
+		span := s.Tracer.StartRemote(trace, parent, "rpc.server "+method)
+		if span != nil {
+			ctx = telemetry.WithSpan(telemetry.WithTracer(ctx, s.Tracer), span)
+		}
+		if s.Metrics != nil {
+			ctx = telemetry.WithRegistry(ctx, s.Metrics)
+		}
+		start := time.Now()
 		s.mu.RLock()
 		h, ok := s.handlers[method]
 		sh, sok := s.streams[method]
 		s.mu.RUnlock()
-		ctx, cancel := s.requestContext(deadline)
 		if sok {
-			usable := s.serveStream(ctx, conn, sh, body)
+			usable := s.serveStream(ctx, conn, sh, body, method)
 			cancel()
+			s.observe(method, start)
+			span.End()
 			if !usable {
 				return
 			}
@@ -278,18 +330,34 @@ func (s *Server) serveConn(conn net.Conn) {
 		} else if out, herr := h(ctx, body); herr != nil {
 			respKind = frameError
 			resp = errorPayload(herr)
+			span.Event("error", herr.Error())
 		} else {
 			respKind = frameOK
 			resp = out
 		}
 		cancel()
 		sent, err := writeFrame(conn, respKind, "", resp)
+		if err != nil && errors.Is(err, ErrFrameTooLarge) {
+			// Nothing hit the wire; tell the client instead of wedging it.
+			s.Metrics.Counter(telemetry.MetricRPCOversizeFrames).Inc()
+			span.Event("oversize-response", err.Error())
+			sent, err = writeFrame(conn, frameError, "", errorPayload(err))
+		}
+		s.Meter.sent.Add(sent)
+		s.observe(method, start)
+		span.End()
 		if err != nil {
 			return
 		}
-		s.Meter.sent.Add(sent)
+		s.Metrics.Counter(telemetry.MetricRPCServerSentBytes, "method", method).Add(sent)
 		s.Meter.calls.Add(1)
 	}
+}
+
+// observe records one served request's latency.
+func (s *Server) observe(method string, start time.Time) {
+	s.Metrics.Histogram(telemetry.MetricRPCServerLatency, "method", method).
+		ObserveDuration(time.Since(start))
 }
 
 // Close stops the listener, cancels all in-flight handler contexts,
@@ -322,6 +390,10 @@ type Client struct {
 	// context deadline (if any) is the only bound.
 	DialTimeout time.Duration
 
+	// Metrics, when set, receives per-method call latency and byte
+	// counts plus pool dial/discard/redial counters. Set before use.
+	Metrics *telemetry.Registry
+
 	addr   string
 	mu     sync.Mutex
 	idle   []net.Conn
@@ -337,32 +409,44 @@ func Dial(addr string) *Client {
 // Addr returns the address this client dials.
 func (c *Client) Addr() string { return c.addr }
 
-func (c *Client) getConn(ctx context.Context) (net.Conn, error) {
+// getConn hands out a connection and reports whether it came from the
+// idle pool. A pooled connection may have been closed by the peer while
+// idle; callers that fail on one before reading any response bytes may
+// safely retry once on a fresh connection (fresh == true skips the
+// pool). Fresh conns bypass any poisoned deadline; pooled ones have
+// theirs cleared here, since a bounded drain may have left a read
+// deadline behind.
+func (c *Client) getConn(ctx context.Context, fresh bool) (conn net.Conn, pooled bool, err error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, ErrShutdown
+		return nil, false, ErrShutdown
 	}
-	if n := len(c.idle); n > 0 {
-		conn := c.idle[n-1]
+	if n := len(c.idle); n > 0 && !fresh {
+		conn = c.idle[n-1]
 		c.idle = c.idle[:n-1]
+		c.gaugeIdleLocked()
 		c.mu.Unlock()
-		return conn, nil
+		conn.SetDeadline(time.Time{})
+		return conn, true, nil
 	}
 	c.mu.Unlock()
 	d := net.Dialer{Timeout: c.DialTimeout}
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
-	if err != nil {
+	conn, derr := d.DialContext(ctx, "tcp", c.addr)
+	if derr != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, fmt.Errorf("rpc: dial %s: %w", c.addr, ctxErr)
+			return nil, false, fmt.Errorf("rpc: dial %s: %w", c.addr, ctxErr)
 		}
-		return nil, &TransportError{Op: "dial", Err: err}
+		return nil, false, &TransportError{Op: "dial", Err: derr}
 	}
-	// A pooled conn may carry a poisoned deadline from a cancelled call;
-	// fresh conns are clean, and reused ones are discarded on cancel, so
-	// clearing here keeps the invariant explicit.
+	c.Metrics.Counter(telemetry.MetricRPCPoolDials).Inc()
 	conn.SetDeadline(time.Time{})
-	return conn, nil
+	return conn, false, nil
+}
+
+// gaugeIdleLocked publishes the pool depth; callers hold c.mu.
+func (c *Client) gaugeIdleLocked() {
+	c.Metrics.Gauge(telemetry.MetricRPCPoolIdle).Set(int64(len(c.idle)))
 }
 
 func (c *Client) putConn(conn net.Conn) {
@@ -373,6 +457,14 @@ func (c *Client) putConn(conn net.Conn) {
 		return
 	}
 	c.idle = append(c.idle, conn)
+	c.gaugeIdleLocked()
+}
+
+// discard closes a connection that must not rejoin the pool (poisoned
+// deadline, failed mid-call, half-drained stream) and counts it.
+func (c *Client) discard(conn net.Conn) {
+	conn.Close()
+	c.Metrics.Counter(telemetry.MetricRPCPoolDiscards).Inc()
 }
 
 // IdleConns reports the number of pooled connections; tests use it to
@@ -424,8 +516,13 @@ func callError(ctx context.Context, method, op string, err error) error {
 }
 
 // Call performs one unary RPC, honoring ctx for dialing, sending and
-// awaiting the response. The ctx deadline travels in the frame header so
-// the server bounds its handler with the same deadline.
+// awaiting the response. The ctx deadline and trace context travel in
+// the frame header so the server bounds its handler with the same
+// deadline and extends the same trace. A stale pooled connection (the
+// peer closed it while idle) that fails before any response bytes were
+// read is transparently redialed once — the request is not yet
+// observable as executed, so the retry is safe even for non-idempotent
+// methods.
 func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -433,31 +530,81 @@ func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byt
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	conn, err := c.getConn(ctx)
+	ctx, span := telemetry.StartSpan(ctx, "rpc.call "+method)
+	defer span.End()
+	start := time.Now()
+	resp, err := c.callOnce(ctx, method, payload, false)
+	if rd, ok := err.(*redialableError); ok {
+		span.Event("redial", rd.err.Error())
+		c.Metrics.Counter(telemetry.MetricRPCPoolRedials).Inc()
+		resp, err = c.callOnce(ctx, method, payload, true)
+	}
+	if re, ok := err.(*redialableError); ok {
+		err = re.err // second attempt exhausted; surface the real failure
+	}
+	h := c.Metrics.Histogram(telemetry.MetricRPCClientLatency, "method", method)
+	h.ObserveDuration(time.Since(start))
+	if err != nil {
+		span.Event("error", err.Error())
+		c.Metrics.Counter(telemetry.MetricRPCClientErrors, "method", method).Inc()
+	}
+	return resp, err
+}
+
+// redialableError wraps a failure on a stale pooled connection that
+// happened before any response bytes were read: Call retries exactly
+// once on a fresh connection.
+type redialableError struct{ err error }
+
+func (e *redialableError) Error() string { return e.err.Error() }
+func (e *redialableError) Unwrap() error { return e.err }
+
+// callOnce runs one attempt of a unary call on one connection.
+func (c *Client) callOnce(ctx context.Context, method string, payload []byte, fresh bool) ([]byte, error) {
+	conn, pooled, err := c.getConn(ctx, fresh)
 	if err != nil {
 		return nil, err
 	}
 	release := watchConn(ctx, conn)
 	deadline, _ := ctx.Deadline()
-	sent, err := writeRequest(conn, method, deadline, payload)
-	if err != nil {
-		release()
-		conn.Close()
-		return nil, callError(ctx, method, "send", err)
-	}
+	trace, parent := telemetry.Inject(ctx)
+	sent, err := writeRequest(conn, method, deadline, trace, parent, payload)
 	c.Meter.sent.Add(sent)
-	kind, _, resp, n, err := readFrame(conn)
+	c.Metrics.Counter(telemetry.MetricRPCClientSentBytes, "method", method).Add(sent)
 	if err != nil {
 		release()
-		conn.Close()
-		return nil, callError(ctx, method, "recv", err)
+		if errors.Is(err, ErrFrameTooLarge) {
+			// Rejected before any byte hit the wire: the conn is clean.
+			c.Metrics.Counter(telemetry.MetricRPCOversizeFrames).Inc()
+			c.putConn(conn)
+			return nil, err
+		}
+		c.discard(conn)
+		err = callError(ctx, method, "send", err)
+		if pooled && ctx.Err() == nil {
+			return nil, &redialableError{err: err}
+		}
+		return nil, err
 	}
+	kind, _, resp, n, err := readFrame(conn)
 	c.Meter.received.Add(n)
+	c.Metrics.Counter(telemetry.MetricRPCClientRecvBytes, "method", method).Add(n)
+	if err != nil {
+		release()
+		c.discard(conn)
+		cerr := callError(ctx, method, "recv", err)
+		if n == 0 && pooled && ctx.Err() == nil {
+			// The peer hung up without a single response byte: the
+			// request was never processed on a live connection.
+			return nil, &redialableError{err: cerr}
+		}
+		return nil, cerr
+	}
 	c.Meter.calls.Add(1)
 	if release() != nil {
 		// The watchdog may have poisoned the deadline after the response
 		// landed; the response is good but the conn is not poolable.
-		conn.Close()
+		c.discard(conn)
 	} else {
 		c.putConn(conn)
 	}

@@ -2,9 +2,13 @@ package rpc
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"time"
+
+	"prestocs/internal/telemetry"
 )
 
 // StreamHandler serves one server-streaming call. It receives the request
@@ -12,9 +16,11 @@ import (
 // Returning nil ends the stream cleanly with the returned trailer payload;
 // returning an error aborts the stream with an error frame, which is valid
 // even after chunks have been sent. If send itself fails the handler should
-// stop and return; the connection is already dead. The context carries the
-// caller's deadline and is cancelled on server shutdown; handlers should
-// check it between chunks.
+// stop and return; the connection is already dead (except for oversized
+// chunks, which are rejected before touching the wire — returning the send
+// error then reaches the client as a clean error frame). The context
+// carries the caller's deadline and is cancelled on server shutdown;
+// handlers should check it between chunks.
 type StreamHandler func(ctx context.Context, payload []byte, send func(chunk []byte) error) (trailer []byte, err error)
 
 // RegisterStream installs a streaming handler for a method name. A method
@@ -29,15 +35,23 @@ func (s *Server) RegisterStream(method string, h StreamHandler) {
 // serveStream runs one streaming call on conn. It reports whether the
 // connection is still usable for further calls (false once a write failed
 // mid-stream, since the client can no longer tell frames apart reliably).
-func (s *Server) serveStream(ctx context.Context, conn net.Conn, h StreamHandler, payload []byte) bool {
+func (s *Server) serveStream(ctx context.Context, conn net.Conn, h StreamHandler, payload []byte, method string) bool {
 	sendErr := false
+	sentBytes := s.Metrics.Counter(telemetry.MetricRPCServerSentBytes, "method", method)
 	send := func(chunk []byte) error {
 		n, err := writeFrame(conn, frameChunk, "", chunk)
+		s.Meter.sent.Add(n)
+		sentBytes.Add(n)
 		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				// Nothing hit the wire: the stream can still end with a
+				// clean error frame instead of poisoning the connection.
+				s.Metrics.Counter(telemetry.MetricRPCOversizeFrames).Inc()
+				return err
+			}
 			sendErr = true
 			return err
 		}
-		s.Meter.sent.Add(n)
 		return nil
 	}
 	trailer, herr := h(ctx, payload, send)
@@ -49,10 +63,11 @@ func (s *Server) serveStream(ctx context.Context, conn net.Conn, h StreamHandler
 		kind, resp = frameError, errorPayload(herr)
 	}
 	n, err := writeFrame(conn, kind, "", resp)
+	s.Meter.sent.Add(n)
 	if err != nil {
 		return false
 	}
-	s.Meter.sent.Add(n)
+	sentBytes.Add(n)
 	s.Meter.calls.Add(1)
 	return true
 }
@@ -62,20 +77,28 @@ func (s *Server) serveStream(ctx context.Context, conn net.Conn, h StreamHandler
 // then available via Trailer. Close releases the connection and is safe
 // to call at any point, including after EOF.
 type ClientStream struct {
-	c       *Client
-	ctx     context.Context
-	release func() error
-	conn    net.Conn
-	method  string
-	trailer []byte
-	done    bool
-	err     error
+	c        *Client
+	ctx      context.Context
+	release  func() error
+	conn     net.Conn
+	method   string
+	payload  []byte // original request payload, kept for one stale-pool redial
+	span     *telemetry.Span
+	start    time.Time
+	trailer  []byte
+	pooled   bool // conn came from the idle pool
+	redialed bool // the one redial budget is spent
+	gotAny   bool // at least one response frame arrived
+	done     bool
+	err      error
 }
 
 // Stream opens a server-streaming call. The returned stream must be
 // drained to EOF or Closed, or the underlying connection leaks. The ctx
 // governs the whole stream: its deadline travels to the server, and
-// cancelling it wakes a blocked Recv and discards the connection.
+// cancelling it wakes a blocked Recv and discards the connection. Like
+// Call, a stale pooled connection that fails before any response bytes
+// arrive is redialed once — on open here, or on the first Recv.
 func (c *Client) Stream(ctx context.Context, method string, payload []byte) (*ClientStream, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -83,20 +106,66 @@ func (c *Client) Stream(ctx context.Context, method string, payload []byte) (*Cl
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	conn, err := c.getConn(ctx)
-	if err != nil {
-		return nil, err
+	ctx, span := telemetry.StartSpan(ctx, "rpc.stream "+method)
+	st := &ClientStream{c: c, ctx: ctx, method: method, payload: payload, span: span, start: time.Now()}
+	if err := st.open(false); err != nil {
+		if rd, ok := err.(*redialableError); ok {
+			span.Event("redial", rd.err.Error())
+			c.Metrics.Counter(telemetry.MetricRPCPoolRedials).Inc()
+			err = st.open(true)
+		}
+		if rd, ok := err.(*redialableError); ok {
+			err = rd.err
+		}
+		if err != nil {
+			span.Event("error", err.Error())
+			span.End()
+			st.observeLatency()
+			c.Metrics.Counter(telemetry.MetricRPCClientErrors, "method", method).Inc()
+			return nil, err
+		}
 	}
-	release := watchConn(ctx, conn)
-	deadline, _ := ctx.Deadline()
-	sent, err := writeRequest(conn, method, deadline, payload)
+	return st, nil
+}
+
+// observeLatency records the stream's whole-call latency, open to
+// terminal frame (or failure), in the same per-method histogram unary
+// calls use.
+func (st *ClientStream) observeLatency() {
+	st.c.Metrics.Histogram(telemetry.MetricRPCClientLatency, "method", st.method).
+		ObserveDuration(time.Since(st.start))
+}
+
+// open establishes one connection and ships the request frame.
+func (st *ClientStream) open(fresh bool) error {
+	c := st.c
+	conn, pooled, err := c.getConn(st.ctx, fresh)
+	if err != nil {
+		return err
+	}
+	release := watchConn(st.ctx, conn)
+	deadline, _ := st.ctx.Deadline()
+	trace, parent := telemetry.Inject(st.ctx)
+	sent, err := writeRequest(conn, st.method, deadline, trace, parent, st.payload)
+	c.Meter.sent.Add(sent)
+	c.Metrics.Counter(telemetry.MetricRPCClientSentBytes, "method", st.method).Add(sent)
 	if err != nil {
 		release()
-		conn.Close()
-		return nil, callError(ctx, method, "send", err)
+		if errors.Is(err, ErrFrameTooLarge) {
+			c.Metrics.Counter(telemetry.MetricRPCOversizeFrames).Inc()
+			c.putConn(conn)
+			return err
+		}
+		c.discard(conn)
+		cerr := callError(st.ctx, st.method, "send", err)
+		if pooled && st.ctx.Err() == nil {
+			return &redialableError{err: cerr}
+		}
+		return cerr
 	}
-	c.Meter.sent.Add(sent)
-	return &ClientStream{c: c, ctx: ctx, release: release, conn: conn, method: method}, nil
+	st.conn, st.release, st.pooled = conn, release, pooled
+	st.redialed = st.redialed || fresh
+	return nil
 }
 
 // Recv returns the next chunk, io.EOF on clean end of stream, or an error.
@@ -109,11 +178,31 @@ func (st *ClientStream) Recv() ([]byte, error) {
 		return nil, io.EOF
 	}
 	k, _, payload, n, err := readFrame(st.conn)
+	st.c.Meter.received.Add(n)
+	st.c.Metrics.Counter(telemetry.MetricRPCClientRecvBytes, "method", st.method).Add(n)
 	if err != nil {
+		if n == 0 && !st.gotAny && st.pooled && !st.redialed && st.ctx.Err() == nil {
+			// The pooled connection was stale: the peer hung up without a
+			// single response byte, so the request was never executed.
+			// Replay it once on a fresh connection.
+			st.release()
+			st.c.discard(st.conn)
+			st.span.Event("redial", err.Error())
+			st.c.Metrics.Counter(telemetry.MetricRPCPoolRedials).Inc()
+			if oerr := st.open(true); oerr != nil {
+				if rd, ok := oerr.(*redialableError); ok {
+					oerr = rd.err
+				}
+				st.conn = nil
+				st.fail(oerr)
+				return nil, st.err
+			}
+			return st.Recv()
+		}
 		st.fail(callError(st.ctx, st.method, "recv", err))
 		return nil, st.err
 	}
-	st.c.Meter.received.Add(n)
+	st.gotAny = true
 	switch k {
 	case frameChunk:
 		return payload, nil
@@ -121,10 +210,12 @@ func (st *ClientStream) Recv() ([]byte, error) {
 		st.trailer = payload
 		st.done = true
 		st.c.Meter.calls.Add(1)
+		st.span.End()
+		st.observeLatency()
 		if st.release() != nil {
 			// Context fired while the end frame was in flight; the conn
 			// deadline may be poisoned, so it cannot rejoin the pool.
-			st.conn.Close()
+			st.c.discard(st.conn)
 		} else {
 			st.c.putConn(st.conn)
 		}
@@ -142,9 +233,13 @@ func (st *ClientStream) Recv() ([]byte, error) {
 func (st *ClientStream) fail(err error) {
 	st.err = err
 	st.done = true
+	st.span.Event("error", err.Error())
+	st.span.End()
+	st.observeLatency()
+	st.c.Metrics.Counter(telemetry.MetricRPCClientErrors, "method", st.method).Inc()
 	if st.conn != nil {
 		st.release()
-		st.conn.Close()
+		st.c.discard(st.conn)
 		st.conn = nil
 	}
 }
@@ -153,14 +248,53 @@ func (st *ClientStream) fail(err error) {
 // io.EOF.
 func (st *ClientStream) Trailer() []byte { return st.trailer }
 
+// TryDrain attempts to consume the remainder of the stream within the
+// given budget so the trailer (and its stats) are not lost on early
+// stop. It reads at most maxChunks further chunk frames and spends at
+// most timeout blocked on the socket, returning the chunk payload bytes
+// it consumed and whether the stream reached its clean end; on false the
+// stream is closed and the connection discarded. The common early-stop
+// case — a pushed-down LIMIT where the storage node finished right after
+// the client stopped reading — completes in one or two reads because the
+// end frame is already in the socket buffer.
+func (st *ClientStream) TryDrain(maxChunks int, timeout time.Duration) (int64, bool) {
+	if st.done {
+		return 0, st.err == nil
+	}
+	if st.conn == nil {
+		return 0, false
+	}
+	// Bound the whole drain; the deadline is cleared when the conn is
+	// pooled again (getConn resets deadlines on reuse as well).
+	st.conn.SetReadDeadline(time.Now().Add(timeout))
+	var drained int64
+	for i := 0; i <= maxChunks; i++ {
+		chunk, err := st.Recv()
+		if err == io.EOF {
+			return drained, true
+		}
+		if err != nil {
+			return drained, false
+		}
+		drained += int64(len(chunk))
+	}
+	st.Close()
+	return drained, false
+}
+
 // Close releases the stream. If the stream has not reached a clean end the
 // connection is discarded rather than pooled, since unread chunk frames
 // may still be in flight.
 func (st *ClientStream) Close() error {
 	if st.conn != nil {
 		st.release()
-		st.conn.Close()
+		st.c.discard(st.conn)
 		st.conn = nil
+		st.span.Event("closed-early", "")
+	}
+	if !st.done {
+		st.span.End()
+		st.observeLatency()
 	}
 	st.done = true
 	if st.err == nil {

@@ -1,0 +1,346 @@
+package telemetry
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a process-wide metric namespace: counters, gauges and
+// histograms keyed by name plus label pairs. Get-or-create lookups are
+// cheap (one RLock + map hit) and every method is safe on a nil
+// receiver, so instrumentation sites never branch on "is metrics
+// enabled".
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// metricKey renders name{k="v",...} with labels in the given order.
+// Labels are alternating key, value pairs.
+func metricKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(labels[i+1])
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one. Safe on nil.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. Safe on nil.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the counter (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n. Safe on nil.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by n (use negative n to decrement). Safe on nil.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value reads the gauge (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// HistogramBuckets is the fixed bucket count: power-of-two upper bounds
+// 1, 2, 4, ..., 2^62, plus an overflow bucket. Log-scale with no
+// configuration keeps every histogram mergeable and allocation-free.
+const HistogramBuckets = 64
+
+// Histogram counts observations in fixed log-scale (power-of-two)
+// buckets. Bucket i counts observations v with BucketBound(i-1) < v <=
+// BucketBound(i); bucket 0 counts v <= 1 (including zero and negative).
+type Histogram struct {
+	counts [HistogramBuckets]atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// bucketIndex maps an observation to its bucket: ceil(log2(v)) for v>1.
+func bucketIndex(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	// bits.Len64(x-1) == ceil(log2(x)) for x >= 2.
+	idx := bits.Len64(uint64(v - 1))
+	if idx >= HistogramBuckets {
+		return HistogramBuckets - 1
+	}
+	return idx
+}
+
+// BucketBound returns bucket i's inclusive upper bound (2^i); the last
+// bucket is unbounded.
+func BucketBound(i int) int64 {
+	if i >= HistogramBuckets-1 {
+		return 1<<62 - 1 + 1<<62 // MaxInt64: the overflow bucket
+	}
+	return 1 << uint(i)
+}
+
+// Observe records one value. Safe on nil.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// ObserveDuration records a duration in microseconds. Safe on nil.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Microseconds()) }
+
+// Count reads the observation count (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum reads the accumulated total (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// BucketCount reads bucket i's count (0 on nil or out of range).
+func (h *Histogram) BucketCount(i int) int64 {
+	if h == nil || i < 0 || i >= HistogramBuckets {
+		return 0
+	}
+	return h.counts[i].Load()
+}
+
+// Counter returns the named counter, creating it on first use. Labels
+// are alternating key, value pairs. Safe on a nil registry (returns a
+// nil, no-op counter).
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	r.mu.RLock()
+	c := r.counters[key]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[key]; c == nil {
+		c = &Counter{}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Safe on nil.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	r.mu.RLock()
+	g := r.gauges[key]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[key]; g == nil {
+		g = &Gauge{}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. Safe
+// on nil.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	r.mu.RLock()
+	h := r.histograms[key]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[key]; h == nil {
+		h = &Histogram{}
+		r.histograms[key] = h
+	}
+	return h
+}
+
+// CounterValue reads a counter without creating it (0 when absent);
+// tests and the vet gate use it.
+func (r *Registry) CounterValue(name string, labels ...string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.counters[metricKey(name, labels)].Value()
+}
+
+// GaugeValue reads a gauge without creating it (0 when absent).
+func (r *Registry) GaugeValue(name string, labels ...string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gauges[metricKey(name, labels)].Value()
+}
+
+// HistogramCount reads a histogram's observation count without creating
+// it (0 when absent).
+func (r *Registry) HistogramCount(name string, labels ...string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.histograms[metricKey(name, labels)].Count()
+}
+
+// Render writes the registry in Prometheus-style text exposition:
+// counters and gauges one line each, histograms as cumulative
+// name_bucket{le="..."} lines plus name_sum and name_count. Only
+// non-empty buckets render, keeping 64-bucket histograms readable.
+func (r *Registry) Render() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var b strings.Builder
+	keys := make([]string, 0, len(r.counters))
+	for k := range r.counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %d\n", k, r.counters[k].Value())
+	}
+	keys = keys[:0]
+	for k := range r.gauges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %d\n", k, r.gauges[k].Value())
+	}
+	keys = keys[:0]
+	for k := range r.histograms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := r.histograms[k]
+		name, labels := splitKey(k)
+		var cum int64
+		for i := 0; i < HistogramBuckets; i++ {
+			c := h.counts[i].Load()
+			if c == 0 {
+				continue
+			}
+			cum += c
+			le := fmt.Sprintf("%d", BucketBound(i))
+			if i == HistogramBuckets-1 {
+				le = "+Inf"
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", name, mergeLabels(labels, `le="`+le+`"`), cum)
+		}
+		fmt.Fprintf(&b, "%s_sum%s %d\n", name, labels, h.Sum())
+		fmt.Fprintf(&b, "%s_count%s %d\n", name, labels, h.Count())
+	}
+	return b.String()
+}
+
+// splitKey separates "name{labels}" into name and "{labels}" ("" when
+// unlabeled).
+func splitKey(key string) (name, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}
+
+// mergeLabels appends extra to a "{...}" label block (or starts one).
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}

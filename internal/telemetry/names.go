@@ -1,0 +1,60 @@
+package telemetry
+
+// Canonical metric names. Every instrument the system registers is
+// declared here, and `make vet-telemetry` fails the build when a name in
+// this manifest has no registration site outside this package — so an
+// rpc method, retry policy or fallback path cannot be added (or its
+// instrumentation deleted) without the gate noticing.
+//
+// Naming convention: <component>_<what>_<unit-or-total>. Histograms are
+// in microseconds unless the name says bytes.
+const (
+	// RPC client (per-method labels: method).
+	MetricRPCClientLatency   = "rpc_client_latency_us"
+	MetricRPCClientSentBytes = "rpc_client_sent_bytes_total"
+	MetricRPCClientRecvBytes = "rpc_client_recv_bytes_total"
+	MetricRPCClientErrors    = "rpc_client_errors_total"
+
+	// RPC connection pool.
+	MetricRPCPoolIdle     = "rpc_pool_idle_conns"
+	MetricRPCPoolDials    = "rpc_pool_dials_total"
+	MetricRPCPoolDiscards = "rpc_pool_discards_total"
+	// MetricRPCPoolRedials counts transparent retries of a call whose
+	// stale pooled connection failed before any response bytes arrived.
+	MetricRPCPoolRedials = "rpc_pool_redials_total"
+
+	// RPC frame layer.
+	MetricRPCOversizeFrames = "rpc_oversize_frames_total"
+
+	// RPC server (per-method labels: method).
+	MetricRPCServerLatency   = "rpc_server_latency_us"
+	MetricRPCServerSentBytes = "rpc_server_sent_bytes_total"
+	MetricRPCServerRecvBytes = "rpc_server_recv_bytes_total"
+
+	// Retry loop (labels: none; counts attempts beyond the first).
+	MetricRetryAttempts = "retry_attempts_total"
+	MetricRetryGiveups  = "retry_giveups_total"
+
+	// Storage node (labels: node).
+	MetricNodeChunksSent    = "ocs_node_chunks_sent_total"
+	MetricNodeChunkBytes    = "ocs_node_chunk_bytes_total"
+	MetricScanPoolActive    = "ocs_scan_pool_active_workers"
+	MetricScanPoolQueued    = "ocs_scan_pool_queued_groups"
+	MetricScanPoolRowGroups = "ocs_scan_rowgroups_total"
+
+	// Engine query stage metrics (one observation per query).
+	MetricQueryTotal        = "engine_queries_total"
+	MetricQueryErrors       = "engine_query_errors_total"
+	MetricQueryLatency      = "engine_query_latency_us"
+	MetricQueryBytesMoved   = "engine_query_bytes_moved_total"
+	MetricQueryFallbacks    = "engine_query_fallback_splits_total"
+	MetricQueryResultRows   = "engine_query_result_rows_total"
+	MetricQueryPushdown     = "engine_query_pushdown_total"
+	MetricQuerySubstraitGen = "engine_query_substrait_gen_us"
+	MetricQueryTransfer     = "engine_query_transfer_us"
+
+	// Connector pushdown monitor (window-independent lifetime totals).
+	MetricMonitorQueries   = "ocs_monitor_queries_total"
+	MetricMonitorSuccesses = "ocs_monitor_successes_total"
+	MetricMonitorFallbacks = "ocs_monitor_fallback_splits_total"
+)

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// RenderTrace writes a human-readable span tree for one trace — the
+// EXPLAIN ANALYZE-style profile prestolite prints with -profile, and the
+// /debug/traces?trace=<id> view. Spans may come from several tracers
+// (engine, frontend, storage nodes); parent links reassemble them into
+// one tree. Orphan spans (parent evicted or remote) render at the root
+// level, so a partially retained trace still prints.
+func RenderTrace(w io.Writer, spans []SpanView) {
+	if len(spans) == 0 {
+		fmt.Fprintln(w, "(no spans)")
+		return
+	}
+	byParent := map[SpanID][]SpanView{}
+	have := map[SpanID]bool{}
+	for _, v := range spans {
+		have[v.ID] = true
+	}
+	var roots []SpanView
+	for _, v := range spans {
+		if v.Parent != 0 && have[v.Parent] {
+			byParent[v.Parent] = append(byParent[v.Parent], v)
+		} else {
+			roots = append(roots, v)
+		}
+	}
+	sortSpans(roots)
+	for k := range byParent {
+		sortSpans(byParent[k])
+	}
+	t0 := earliest(spans)
+	fmt.Fprintf(w, "trace %016x\n", uint64(spans[0].Trace))
+	var render func(v SpanView, depth int)
+	render = func(v SpanView, depth int) {
+		for i := 0; i < depth; i++ {
+			fmt.Fprint(w, "  ")
+		}
+		fmt.Fprintf(w, "%-*s %10s  @+%s\n", 32-2*depth, v.Name,
+			round(v.Duration()), round(v.Start.Sub(t0)))
+		printDetail(w, v, depth)
+		for _, c := range byParent[v.ID] {
+			render(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		render(r, 0)
+	}
+}
+
+func printDetail(w io.Writer, v SpanView, depth int) {
+	indent := func() {
+		for i := 0; i < depth+1; i++ {
+			fmt.Fprint(w, "  ")
+		}
+	}
+	if len(v.Durations) > 0 {
+		keys := make([]string, 0, len(v.Durations))
+		for k := range v.Durations {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			indent()
+			fmt.Fprintf(w, "· %s: %s\n", k, round(v.Durations[k]))
+		}
+	}
+	if len(v.Attrs) > 0 {
+		keys := make([]string, 0, len(v.Attrs))
+		for k := range v.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			indent()
+			fmt.Fprintf(w, "· %s=%s\n", k, v.Attrs[k])
+		}
+	}
+	for _, e := range v.Events {
+		indent()
+		if e.Attr != "" {
+			fmt.Fprintf(w, "! %s (%s) @+%s\n", e.Name, e.Attr, round(e.When.Sub(v.Start)))
+		} else {
+			fmt.Fprintf(w, "! %s @+%s\n", e.Name, round(e.When.Sub(v.Start)))
+		}
+	}
+}
+
+func sortSpans(s []SpanView) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Start.Before(s[j].Start) })
+}
+
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }

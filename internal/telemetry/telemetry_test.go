@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketBoundaries pins the log-scale bucket layout: bucket
+// i's inclusive upper bound is 2^i, bucket 0 absorbs everything <= 1, and
+// the last bucket absorbs overflow.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1},
+		{3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{9, 4}, {1023, 10}, {1024, 10}, {1025, 11},
+		{1 << 40, 40}, {1<<40 + 1, 41},
+	}
+	for _, tc := range cases {
+		var h Histogram
+		h.Observe(tc.v)
+		if got := h.BucketCount(tc.want); got != 1 {
+			for i := 0; i < HistogramBuckets; i++ {
+				if h.BucketCount(i) != 0 {
+					t.Errorf("Observe(%d) landed in bucket %d, want %d", tc.v, i, tc.want)
+				}
+			}
+		}
+	}
+	// The bound itself is inclusive; bound+1 spills to the next bucket.
+	for _, i := range []int{1, 5, 20} {
+		var h Histogram
+		h.Observe(BucketBound(i))
+		h.Observe(BucketBound(i) + 1)
+		if h.BucketCount(i) != 1 || h.BucketCount(i+1) != 1 {
+			t.Errorf("bound %d: bucket[%d]=%d bucket[%d]=%d, want 1 and 1",
+				BucketBound(i), i, h.BucketCount(i), i+1, h.BucketCount(i+1))
+		}
+	}
+	if BucketBound(0) != 1 || BucketBound(3) != 8 {
+		t.Errorf("BucketBound = %d, %d; want 1, 8", BucketBound(0), BucketBound(3))
+	}
+	if BucketBound(HistogramBuckets-1) != 1<<63-1 {
+		t.Errorf("overflow bound = %d, want MaxInt64", BucketBound(HistogramBuckets-1))
+	}
+	// An enormous value must land in the overflow bucket, not panic.
+	var h Histogram
+	h.Observe(1<<63 - 1)
+	if h.BucketCount(HistogramBuckets-1) != 1 {
+		t.Error("MaxInt64 observation missed the overflow bucket")
+	}
+}
+
+func TestHistogramSumCount(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 10, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Sum() != 111 {
+		t.Errorf("count=%d sum=%d, want 3, 111", h.Count(), h.Sum())
+	}
+	h.ObserveDuration(2 * time.Millisecond)
+	if h.Sum() != 111+2000 {
+		t.Errorf("sum after ObserveDuration = %d, want %d", h.Sum(), 111+2000)
+	}
+}
+
+// TestNilSafety: every instrumentation entry point must be a no-op on nil
+// receivers, so call sites never branch on "telemetry enabled".
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Gauge("x").Add(1)
+	reg.Histogram("x").Observe(1)
+	if reg.CounterValue("x") != 0 || reg.GaugeValue("x") != 0 || reg.HistogramCount("x") != 0 {
+		t.Error("nil registry reported values")
+	}
+	if reg.Render() != "" {
+		t.Error("nil registry rendered output")
+	}
+	var tr *Tracer
+	if s := tr.StartRemote(1, 2, "x"); s != nil {
+		t.Error("nil tracer started a span")
+	}
+	if tr.Spans() != nil || tr.Total() != 0 {
+		t.Error("nil tracer reported spans")
+	}
+	var sp *Span
+	sp.Event("e", "")
+	sp.SetAttr("k", "v")
+	sp.AddDuration("d", time.Second)
+	sp.End()
+	ctx, sp2 := StartSpan(context.Background(), "x")
+	if sp2 != nil {
+		t.Error("StartSpan without tracer returned a span")
+	}
+	if tid, pid := Inject(ctx); tid != 0 || pid != 0 {
+		t.Error("Inject without span returned IDs")
+	}
+}
+
+func TestRegistryLabels(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("calls", "method", "a").Add(2)
+	reg.Counter("calls", "method", "b").Inc()
+	if reg.CounterValue("calls", "method", "a") != 2 {
+		t.Errorf("calls{a} = %d", reg.CounterValue("calls", "method", "a"))
+	}
+	if reg.CounterValue("calls", "method", "b") != 1 {
+		t.Errorf("calls{b} = %d", reg.CounterValue("calls", "method", "b"))
+	}
+	if reg.CounterValue("calls") != 0 {
+		t.Error("unlabeled counter leaked labeled values")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 6; i++ {
+		tr.start(TraceID(i+1), 0, "s").End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	if spans[0].Trace != 3 || spans[3].Trace != 6 {
+		t.Errorf("retained traces %d..%d, want 3..6", spans[0].Trace, spans[3].Trace)
+	}
+	if tr.Total() != 6 {
+		t.Errorf("total = %d, want 6", tr.Total())
+	}
+}
+
+func TestSpanParentLinks(t *testing.T) {
+	tr := NewTracer(0)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "root")
+	if root == nil || root.Trace == 0 {
+		t.Fatal("root span missing trace ID")
+	}
+	cctx, child := StartSpan(ctx, "child")
+	if child.Trace != root.Trace || child.Parent != root.ID {
+		t.Errorf("child trace/parent = %d/%d, want %d/%d",
+			child.Trace, child.Parent, root.Trace, root.ID)
+	}
+	if tid, pid := Inject(cctx); tid != child.Trace || pid != child.ID {
+		t.Error("Inject did not return the current span's IDs")
+	}
+	// StartRemote continues the trace; zero trace means none.
+	remote := tr.StartRemote(child.Trace, child.ID, "server")
+	if remote.Trace != child.Trace || remote.Parent != child.ID {
+		t.Error("StartRemote did not continue the trace")
+	}
+	if tr.StartRemote(0, 0, "server") != nil {
+		t.Error("StartRemote with zero trace returned a span")
+	}
+	child.End()
+	root.End()
+	remote.End()
+	if got := len(tr.TraceSpans(root.Trace)); got != 3 {
+		t.Errorf("TraceSpans = %d spans, want 3", got)
+	}
+}
+
+func TestRenderMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rpc_calls", "method", "echo").Add(3)
+	reg.Gauge("pool_idle").Set(2)
+	reg.Histogram("latency").Observe(5)
+	out := reg.Render()
+	for _, want := range []string{
+		`rpc_calls{method="echo"} 3`,
+		"pool_idle 2",
+		`latency_bucket{le="8"} 1`,
+		"latency_sum 5",
+		"latency_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTraceTree(t *testing.T) {
+	tr := NewTracer(0)
+	ctx := WithTracer(context.Background(), tr)
+	ctx, root := StartSpan(ctx, "query")
+	_, child := StartSpan(ctx, "engine.execution")
+	child.Event("retry", "conn reset")
+	child.AddDuration("transfer_wait", 3*time.Millisecond)
+	child.End()
+	root.SetAttr("bytes_moved", "42")
+	root.End()
+	var b strings.Builder
+	RenderTrace(&b, tr.TraceSpans(root.Trace))
+	out := b.String()
+	for _, want := range []string{"query", "  engine.execution", "! retry (conn reset)", "· bytes_moved=42", "· transfer_wait:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderTrace missing %q in:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	RenderTrace(&b, nil)
+	if !strings.Contains(b.String(), "no spans") {
+		t.Error("RenderTrace(nil) missing placeholder")
+	}
+}
+
+func TestDebugMux(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits").Inc()
+	tr := NewTracer(0)
+	ctx := WithTracer(context.Background(), tr)
+	_, root := StartSpan(ctx, "query")
+	root.End()
+	mux := NewMux(reg, map[string]*Tracer{"engine": tr})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String()
+	}
+	if out := get("/metrics"); !strings.Contains(out, "hits 1") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/debug/traces"); !strings.Contains(out, "root=query") {
+		t.Errorf("/debug/traces missing trace line:\n%s", out)
+	}
+	if out := get("/debug/traces?trace=" + traceHex(root.Trace)); !strings.Contains(out, "query") {
+		t.Errorf("/debug/traces?trace= missing span tree:\n%s", out)
+	}
+}
+
+func traceHex(id TraceID) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	v := uint64(id)
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
