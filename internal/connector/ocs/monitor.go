@@ -21,6 +21,9 @@ type Record struct {
 	// raw-scan path during this query; nonzero means the query
 	// succeeded despite pushdown failures.
 	Fallbacks int64
+	// SplitsPruned counts splits dropped before scheduling because
+	// per-object statistics proved the pushed-down filter false.
+	SplitsPruned int64
 }
 
 // Monitor is the connector's EventListener: it keeps a sliding window of
@@ -68,6 +71,7 @@ func (m *Monitor) QueryCompleted(ev engine.QueryEvent) {
 		rec.Pushed = ev.Stats.PushedDown
 		rec.BytesMoved = scan.BytesMoved
 		rec.Fallbacks = scan.FallbackSplits
+		rec.SplitsPruned = scan.SplitsPruned
 		rec.Duration = ev.Stats.Total
 	}
 	m.mu.Lock()
@@ -87,6 +91,7 @@ func (m *Monitor) QueryCompleted(ev engine.QueryEvent) {
 		reg.Counter(telemetry.MetricMonitorSuccesses).Inc()
 	}
 	reg.Counter(telemetry.MetricMonitorFallbacks).Add(rec.Fallbacks)
+	reg.Counter(telemetry.MetricMonitorSplitsPruned).Add(rec.SplitsPruned)
 }
 
 // Window returns the records currently retained, oldest first.

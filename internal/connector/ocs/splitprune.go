@@ -1,0 +1,75 @@
+package ocs
+
+import (
+	"fmt"
+
+	"prestocs/internal/engine"
+	"prestocs/internal/expr"
+	"prestocs/internal/plan"
+)
+
+// SplitsWithStats implements engine.SplitSource: split generation with
+// zone-map pruning. When the handle carries a pushed-down filter and the
+// metastore recorded per-object column statistics, objects whose stats
+// prove the filter false are dropped before they are ever scheduled —
+// the first of the three pruning levels (split, row group, chunk page
+// all share the same expr range analysis). Missing statistics — an
+// object without an entry, a column without stats, or a filter column
+// outside the projected schema — always keep the split.
+func (c *Connector) SplitsWithStats(handle plan.TableHandle, stats *engine.ScanStats) ([]engine.Split, error) {
+	h, ok := handle.(*Handle)
+	if !ok {
+		return nil, fmt.Errorf("ocs: foreign handle %T", handle)
+	}
+	if h.Push == nil || h.Push.Filter == nil || len(h.Table.ObjectStats) == 0 {
+		return c.Splits(handle)
+	}
+	ranges := expr.AnalyzeRanges(h.Push.Filter)
+	if !ranges.Constrained() {
+		return c.Splits(handle)
+	}
+	var splits []engine.Split
+	var pruned int64
+	for i, obj := range h.Table.Objects {
+		if objectMayMatch(h, obj, ranges) {
+			splits = append(splits, engine.Split{Object: obj, Index: i})
+			continue
+		}
+		pruned++
+	}
+	if pruned > 0 && stats != nil {
+		stats.AddSplitsPruned(pruned)
+	}
+	return splits, nil
+}
+
+// objectMayMatch tests one object's column statistics against the
+// filter's range analysis; any gap in the statistics keeps the object.
+// Filter ordinals refer to the projected base scan schema, whose column
+// names key the per-object stats.
+func objectMayMatch(h *Handle, obj string, ranges expr.Ranges) bool {
+	if ranges.Never {
+		return false
+	}
+	base := h.baseScanSchema()
+	objStats, ok := h.Table.ObjectStats[obj]
+	if !ok {
+		return true
+	}
+	for col, cr := range ranges.Cols {
+		if col < 0 || col >= base.Len() {
+			continue
+		}
+		cs, ok := objStats[base.Columns[col].Name]
+		if !ok || cs.NumValues == 0 {
+			// Stats absent or written without value counts: keep.
+			continue
+		}
+		hasNull := cs.NullCount > 0
+		hasNonNull := cs.NumValues > cs.NullCount
+		if !cr.MayMatch(cs.Min, cs.Max, hasNull, hasNonNull) {
+			return false
+		}
+	}
+	return true
+}

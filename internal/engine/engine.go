@@ -207,7 +207,12 @@ func (e *Engine) run(ctx context.Context, root plan.Node, scan *plan.TableScan, 
 	if err != nil {
 		return nil, nil, err
 	}
-	splits, err := conn.Splits(scan.Handle)
+	var splits []Split
+	if ss, ok := conn.(SplitSource); ok {
+		splits, err = ss.SplitsWithStats(scan.Handle, &stats.Scan)
+	} else {
+		splits, err = conn.Splits(scan.Handle)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

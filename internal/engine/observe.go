@@ -27,6 +27,9 @@ func (e *Engine) observeQuery(qspan *telemetry.Span, stats *QueryStats, err erro
 		if scan.FallbackSplits > 0 {
 			qspan.SetAttr("fallback_splits", fmt.Sprint(scan.FallbackSplits))
 		}
+		if scan.SplitsPruned > 0 {
+			qspan.SetAttr("splits_pruned", fmt.Sprint(scan.SplitsPruned))
+		}
 		if stats.UsedPushdown {
 			qspan.SetAttr("pushdown", strings.Join(stats.PushedDown, ","))
 		}
@@ -46,6 +49,7 @@ func (e *Engine) observeQuery(qspan *telemetry.Span, stats *QueryStats, err erro
 	reg.Histogram(telemetry.MetricQueryTransfer).ObserveDuration(scan.Transfer)
 	reg.Counter(telemetry.MetricQueryBytesMoved).Add(scan.BytesMoved)
 	reg.Counter(telemetry.MetricQueryFallbacks).Add(scan.FallbackSplits)
+	reg.Counter(telemetry.MetricQuerySplitsPruned).Add(scan.SplitsPruned)
 	reg.Counter(telemetry.MetricQueryResultRows).Add(int64(stats.ResultRows))
 	if stats.UsedPushdown {
 		reg.Counter(telemetry.MetricQueryPushdown).Inc()

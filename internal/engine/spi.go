@@ -50,6 +50,10 @@ type ScanStats struct {
 	// that were served by the raw-scan fallback (the paper's no-pushdown
 	// configuration) instead.
 	FallbackSplits int64
+	// SplitsPruned counts splits dropped before scheduling because the
+	// metastore's per-object statistics proved the pushed-down filter
+	// false for the whole object (zone-map split pruning).
+	SplitsPruned int64
 }
 
 // AddBytesMoved records network payload bytes.
@@ -95,6 +99,13 @@ func (s *ScanStats) AddFallback() {
 	s.FallbackSplits++
 }
 
+// AddSplitsPruned records splits dropped by statistics before scheduling.
+func (s *ScanStats) AddSplitsPruned(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.SplitsPruned += n
+}
+
 // Snapshot returns a copy for reporting.
 func (s *ScanStats) Snapshot() ScanStats {
 	s.mu.Lock()
@@ -107,6 +118,7 @@ func (s *ScanStats) Snapshot() ScanStats {
 		DeserializeUnits: s.DeserializeUnits,
 		ResultRows:       s.ResultRows,
 		FallbackSplits:   s.FallbackSplits,
+		SplitsPruned:     s.SplitsPruned,
 	}
 }
 
@@ -153,6 +165,17 @@ type Connector interface {
 	// source: cancelling it must make pending and future Next calls
 	// return promptly.
 	CreatePageSource(ctx context.Context, handle plan.TableHandle, split Split, stats *ScanStats) (exec.Operator, error)
+}
+
+// SplitSource is an optional Connector extension: connectors that can
+// prune splits with table statistics implement it, and the engine
+// prefers it over plain Splits so the pruning decision is recorded in
+// the query's ScanStats.
+type SplitSource interface {
+	// SplitsWithStats enumerates the scan units for a handle, dropping
+	// splits whose object statistics prove the handle's pushed-down
+	// filter false, and records the count via stats.AddSplitsPruned.
+	SplitsWithStats(handle plan.TableHandle, stats *ScanStats) ([]Split, error)
 }
 
 // QueryStats is the engine's per-query report; the harness and Table 3

@@ -207,6 +207,59 @@ func TestPushdownFallsBackWhenComputeUnitDown(t *testing.T) {
 	}
 }
 
+// TestSplitPruningSurvivesKilledConnectionFallback checks that zone-map
+// split pruning composes with mid-stream fallback replay: a query whose
+// pushed filter prunes half the splits must return the same rows when a
+// connection is severed mid-result, and the pruning statistics must
+// survive the degraded execution.
+func TestSplitPruningSurvivesKilledConnectionFallback(t *testing.T) {
+	c, proxy := proxiedCluster(t, 1)
+	d := smallLaghos(t, compress.None)
+	if err := c.Load(d); err != nil {
+		t.Fatal(err)
+	}
+	// vertex_id is split-disjoint: file f holds [f*1024, (f+1)*1024), so
+	// this filter covers exactly the first two of four objects and the
+	// per-object statistics prune the other two before scheduling.
+	query := `SELECT vertex_id, x, e FROM laghos WHERE vertex_id < 2048`
+	session := func() *engine.Session {
+		return engine.NewSession().Set(ocsconn.SessionPushdown, "filter")
+	}
+	baseline, err := c.Run("baseline", query, session())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := baseline.Stats.Scan.Snapshot().SplitsPruned; got != 2 {
+		t.Fatalf("baseline SplitsPruned = %d, want 2", got)
+	}
+	if baseline.Rows != 2*8192 {
+		t.Fatalf("baseline rows = %d, want %d", baseline.Rows, 2*8192)
+	}
+	// Sever a streaming connection mid-result; the retry/fallback path
+	// must replay only the surviving (unpruned) splits.
+	proxy.KillOnce(4096)
+	cell, err := c.Run("killed", query, session())
+	if err != nil {
+		t.Fatalf("pruned query with killed connection = %v", err)
+	}
+	if proxy.Killed() != 1 {
+		t.Errorf("killed = %d", proxy.Killed())
+	}
+	if cell.Rows != baseline.Rows {
+		t.Errorf("rows with fault = %d, baseline = %d", cell.Rows, baseline.Rows)
+	}
+	scan := cell.Stats.Scan.Snapshot()
+	if scan.SplitsPruned != 2 {
+		t.Errorf("SplitsPruned with fault = %d, want 2", scan.SplitsPruned)
+	}
+	// The monitor's history keeps the pruning count for the degraded run.
+	window := c.OCSConn.Monitor().Window()
+	last := window[len(window)-1]
+	if last.SplitsPruned != scan.SplitsPruned {
+		t.Errorf("monitor SplitsPruned = %d, want %d", last.SplitsPruned, scan.SplitsPruned)
+	}
+}
+
 func TestQueryDeadlineWithBlackholedStorage(t *testing.T) {
 	c, proxy := proxiedCluster(t, 1)
 	d := smallLaghos(t, compress.None)

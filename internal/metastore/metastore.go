@@ -19,7 +19,8 @@ import (
 	"prestocs/internal/types"
 )
 
-// ColumnStats describes one column of a table.
+// ColumnStats describes one column of a table (or of one object, when
+// held in Table.ObjectStats).
 type ColumnStats struct {
 	Min       types.Value `json:"min"`
 	Max       types.Value `json:"max"`
@@ -27,6 +28,10 @@ type ColumnStats struct {
 	// NDV is the number of distinct values (exact when computed by the
 	// generator, else an estimate).
 	NDV int64 `json:"ndv"`
+	// NumValues is the number of stored values including NULLs; zero
+	// means the count was not recorded, so consumers must treat the
+	// stats as unreliable rather than as proof of emptiness.
+	NumValues int64 `json:"num_values,omitempty"`
 }
 
 // Table is a catalog entry.
@@ -47,6 +52,11 @@ type Table struct {
 	TotalBytes int64 `json:"total_bytes"`
 	// ColumnStats is keyed by column name.
 	ColumnStats map[string]ColumnStats `json:"column_stats"`
+	// ObjectStats holds per-object column statistics (object key →
+	// column name → stats), the zone maps the connector intersects with
+	// a pushed-down filter to drop whole splits before scheduling them.
+	// Optional: tables registered without it simply never prune splits.
+	ObjectStats map[string]map[string]ColumnStats `json:"object_stats,omitempty"`
 	// DisjointKeys lists columns whose values never span objects (e.g.
 	// mesh subdomain ids in simulation outputs). Grouping by such columns
 	// makes per-object aggregation complete, which the OCS connector
@@ -179,6 +189,7 @@ func StatsFromObjects(schema *types.Schema, images [][]byte) (rowCount, totalByt
 			st := r.ColumnStats(ci)
 			agg := colStats[c.Name]
 			agg.NullCount += st.NullCount
+			agg.NumValues += st.NumValues
 			if !st.Min.Null && (agg.Min.Null || types.Compare(st.Min, agg.Min) < 0) {
 				agg.Min = st.Min
 			}
@@ -189,4 +200,36 @@ func StatsFromObjects(schema *types.Schema, images [][]byte) (rowCount, totalByt
 		}
 	}
 	return rowCount, totalBytes, colStats, nil
+}
+
+// ObjectStatsFromImages computes per-object column statistics (the
+// zone maps split pruning consumes) by reading each object's footer.
+// keys and images are parallel slices; the result is keyed by object
+// key, then column name.
+func ObjectStatsFromImages(schema *types.Schema, keys []string, images [][]byte) (map[string]map[string]ColumnStats, error) {
+	if len(keys) != len(images) {
+		return nil, fmt.Errorf("metastore: %d keys for %d images", len(keys), len(images))
+	}
+	out := make(map[string]map[string]ColumnStats, len(keys))
+	for i, img := range images {
+		r, err := parquetlite.NewReader(img)
+		if err != nil {
+			return nil, err
+		}
+		if !r.Schema().Equal(schema) {
+			return nil, fmt.Errorf("metastore: object schema %s does not match table %s", r.Schema(), schema)
+		}
+		per := make(map[string]ColumnStats, schema.Len())
+		for ci, c := range schema.Columns {
+			st := r.ColumnStats(ci)
+			per[c.Name] = ColumnStats{
+				Min:       st.Min,
+				Max:       st.Max,
+				NullCount: st.NullCount,
+				NumValues: st.NumValues,
+			}
+		}
+		out[keys[i]] = per
+	}
+	return out, nil
 }

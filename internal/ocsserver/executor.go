@@ -36,6 +36,10 @@ type execEnv struct {
 	scanPool int
 	closers  []func()
 
+	// noPrune disables statistics-driven row-group pruning; the
+	// differential property tests compare pruned runs against it.
+	noPrune bool
+
 	// ctx carries the ambient tracer, span and metrics registry of the
 	// request this execution serves; nil means no telemetry (in-process
 	// ExecuteLocal callers).
@@ -204,13 +208,19 @@ func compileRead(store *objstore.Store, read *substrait.ReadRel, pruneWith expr.
 	for i := range groups {
 		groups[i] = i
 	}
-	if pruneWith != nil {
+	if pruneWith != nil && !env.noPrune {
 		mapping := make(map[int]int, len(cols))
 		for outIdx, fullIdx := range cols {
 			mapping[outIdx] = fullIdx
 		}
 		if remapped, err := expr.Remap(pruneWith, mapping); err == nil {
-			groups = r.PruneRowGroups(remapped)
+			if ranges := expr.AnalyzeRanges(remapped); ranges.Constrained() {
+				keep, pruned, skipped := r.PruneRowGroupsRanges(ranges, cols)
+				if len(pruned) > 0 {
+					recordPrune(env, read.Object, pruned, skipped)
+					groups = keep
+				}
+			}
 		}
 	}
 
@@ -230,7 +240,7 @@ func compileRead(store *objstore.Store, read *substrait.ReadRel, pruneWith expr.
 		idx++
 		_, sp := telemetry.StartSpan(env.context(), "scan.rowgroup")
 		sp.SetAttr("group", strconv.Itoa(rg))
-		page, err := r.ReadRowGroup(rg, cols)
+		page, err := r.ReadRowGroup(rg, cols) // vet-pruning:allow rg comes from the post-prune keep list
 		sp.End()
 		scanned.Inc()
 		if err != nil {
@@ -247,6 +257,24 @@ func compileRead(store *objstore.Store, read *substrait.ReadRel, pruneWith expr.
 	}), nil
 }
 
+// recordPrune publishes one object's row-group pruning decision: the
+// counters feed /metrics, and the trace gets one scan.prune span per
+// object with an event per skipped group, sitting next to the
+// scan.rowgroup spans of the groups that were actually read.
+func recordPrune(env *execEnv, object string, pruned []int, bytesSkipped int64) {
+	reg := telemetry.RegistryFrom(env.context())
+	reg.Counter(telemetry.MetricScanRowGroupsPruned).Add(int64(len(pruned)))
+	reg.Counter(telemetry.MetricScanBytesSkipped).Add(bytesSkipped)
+	_, sp := telemetry.StartSpan(env.context(), "scan.prune")
+	sp.SetAttr("object", object)
+	sp.SetAttr("rowgroups_pruned", strconv.Itoa(len(pruned)))
+	sp.SetAttr("bytes_skipped", strconv.FormatInt(bytesSkipped, 10))
+	for _, g := range pruned {
+		sp.Event("rowgroup-pruned", "group "+strconv.Itoa(g))
+	}
+	sp.End()
+}
+
 // ExecuteLocal runs a plan against a local store and returns the result
 // pages plus storage-side work stats. This is the storage node's embedded
 // SQL engine entry point; it is exported for direct (in-process) use by
@@ -260,10 +288,18 @@ func ExecuteLocal(store *objstore.Store, plan *substrait.Plan) ([]*column.Page, 
 // size; pool <= 0 selects the cost-model default, pool == 1 forces the
 // sequential scanner.
 func ExecuteLocalPool(store *objstore.Store, plan *substrait.Plan, pool int) ([]*column.Page, *objstore.WorkStats, error) {
+	return executeLocalPool(store, plan, pool, false)
+}
+
+// executeLocalPool is the shared implementation; noPrune disables
+// statistics-driven row-group pruning so differential tests (and the
+// selectivity-sweep benchmark) can compare against the full scan.
+func executeLocalPool(store *objstore.Store, plan *substrait.Plan, pool int, noPrune bool) ([]*column.Page, *objstore.WorkStats, error) {
 	if _, err := plan.Validate(); err != nil {
 		return nil, nil, err
 	}
 	env := newExecEnv(pool)
+	env.noPrune = noPrune
 	op, err := compilePlan(store, plan, env)
 	if err != nil {
 		env.close()

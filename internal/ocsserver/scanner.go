@@ -111,7 +111,7 @@ func parallelScan(env *execEnv, data []byte, groups, cols []int, outSchema *type
 				active.Add(1)
 				_, sp := telemetry.StartSpan(env.context(), "scan.rowgroup")
 				sp.SetAttr("group", strconv.Itoa(groups[idx]))
-				page, err := r.ReadRowGroup(groups[idx], cols)
+				page, err := r.ReadRowGroup(groups[idx], cols) // vet-pruning:allow groups is the post-prune keep list
 				sp.End()
 				active.Add(-1)
 				scanned.Inc()

@@ -152,99 +152,84 @@ func (r *Reader) ReadAll(cols []int) ([]*column.Page, error) {
 }
 
 // PruneRowGroups returns the row groups that may contain rows matching
-// the predicate, using chunk min/max statistics. A nil predicate keeps
-// everything. Only conjunctions of comparisons and BETWEENs over a single
-// column are used for pruning; any other conjunct is ignored
-// (conservative).
+// the predicate, using chunk min/max/null statistics via the expr range
+// analyzer (zone-map skipping). A nil predicate keeps everything.
 func (r *Reader) PruneRowGroups(pred expr.Expr) []int {
-	keep := make([]int, 0, len(r.meta.RowGroups))
-	for i := range r.meta.RowGroups {
-		if pred == nil || r.rowGroupMayMatch(i, pred) {
-			keep = append(keep, i)
+	if pred == nil {
+		keep := make([]int, len(r.meta.RowGroups))
+		for i := range keep {
+			keep[i] = i
 		}
+		return keep
 	}
+	keep, _, _ := r.PruneRowGroupsRanges(expr.AnalyzeRanges(pred), nil)
 	return keep
 }
 
-func (r *Reader) rowGroupMayMatch(rg int, pred expr.Expr) bool {
-	for _, conj := range expr.Conjuncts(pred) {
-		if !r.conjunctMayMatch(rg, conj) {
+// PruneRowGroupsRanges prunes with a precomputed range analysis, so one
+// analysis can be shared across files and row groups. cols lists the
+// schema ordinals the scan would decode (nil means every column); it is
+// used only to account the compressed bytes a pruned group would have
+// read. Returns the surviving group ordinals (in file order, preserving
+// the deterministic merge order of the parallel scanner), the pruned
+// ordinals, and the bytes skipped.
+func (r *Reader) PruneRowGroupsRanges(ranges expr.Ranges, cols []int) (keep, pruned []int, bytesSkipped int64) {
+	keep = make([]int, 0, len(r.meta.RowGroups))
+	for i := range r.meta.RowGroups {
+		if r.rowGroupMayMatch(i, ranges) {
+			keep = append(keep, i)
+			continue
+		}
+		pruned = append(pruned, i)
+		bytesSkipped += r.rowGroupBytes(i, cols)
+	}
+	return keep, pruned, bytesSkipped
+}
+
+// rowGroupMayMatch tests one row group's chunk statistics against the
+// derived ranges. Conservative on every unknown: a column outside the
+// schema, or a chunk whose stats were never recorded, keeps the group.
+func (r *Reader) rowGroupMayMatch(rg int, ranges expr.Ranges) bool {
+	if ranges.Never {
+		return false
+	}
+	group := r.meta.RowGroups[rg]
+	for col, cr := range ranges.Cols {
+		if col < 0 || col >= len(group.Chunks) {
+			continue
+		}
+		st := group.Chunks[col].Stats
+		if st.NumValues == 0 && group.NumRows > 0 {
+			// Stats absent (e.g. footer written without them): never prune
+			// on a chunk we know nothing about.
+			continue
+		}
+		hasNull := st.NullCount > 0
+		hasNonNull := st.NumValues > st.NullCount
+		if !cr.MayMatch(st.Min, st.Max, hasNull, hasNonNull) {
 			return false
 		}
 	}
 	return true
 }
 
-// conjunctMayMatch evaluates one conjunct against chunk stats. It returns
-// true unless the stats prove no row can match.
-func (r *Reader) conjunctMayMatch(rg int, e expr.Expr) bool {
-	switch t := e.(type) {
-	case *expr.Between:
-		col, ok := t.E.(*expr.ColumnRef)
-		if !ok {
-			return true
+// rowGroupBytes sums the compressed size of the projected chunks of one
+// row group (nil cols means all chunks).
+func (r *Reader) rowGroupBytes(rg int, cols []int) int64 {
+	group := r.meta.RowGroups[rg]
+	var n int64
+	if cols == nil {
+		for _, ch := range group.Chunks {
+			n += ch.CompressedSize
 		}
-		lo, okLo := t.Lo.(*expr.Literal)
-		hi, okHi := t.Hi.(*expr.Literal)
-		if !okLo || !okHi {
-			return true
-		}
-		st := r.chunkStats(rg, col.Index)
-		if st == nil || st.Min.Null {
-			return true
-		}
-		// No overlap when max < lo or min > hi.
-		return !(types.Compare(st.Max, lo.Value) < 0 || types.Compare(st.Min, hi.Value) > 0)
-	case *expr.Compare:
-		col, okCol := t.L.(*expr.ColumnRef)
-		lit, okLit := t.R.(*expr.Literal)
-		op := t.Op
-		if !okCol || !okLit {
-			// Try the mirrored form literal OP column.
-			col, okCol = t.R.(*expr.ColumnRef)
-			lit, okLit = t.L.(*expr.Literal)
-			if !okCol || !okLit {
-				return true
-			}
-			op = mirror(op)
-		}
-		st := r.chunkStats(rg, col.Index)
-		if st == nil || st.Min.Null || lit.Value.Null {
-			return true
-		}
-		switch op {
-		case expr.Eq:
-			return types.Compare(lit.Value, st.Min) >= 0 && types.Compare(lit.Value, st.Max) <= 0
-		case expr.Lt:
-			return types.Compare(st.Min, lit.Value) < 0
-		case expr.Le:
-			return types.Compare(st.Min, lit.Value) <= 0
-		case expr.Gt:
-			return types.Compare(st.Max, lit.Value) > 0
-		case expr.Ge:
-			return types.Compare(st.Max, lit.Value) >= 0
-		default:
-			return true // Ne never prunes
-		}
-	default:
-		return true
+		return n
 	}
-}
-
-// mirror flips an operator across its operands: lit OP col == col mirror(OP) lit.
-func mirror(op expr.CmpOp) expr.CmpOp {
-	switch op {
-	case expr.Lt:
-		return expr.Gt
-	case expr.Le:
-		return expr.Ge
-	case expr.Gt:
-		return expr.Lt
-	case expr.Ge:
-		return expr.Le
-	default:
-		return op
+	for _, c := range cols {
+		if c >= 0 && c < len(group.Chunks) {
+			n += group.Chunks[c].CompressedSize
+		}
 	}
+	return n
 }
 
 func (r *Reader) chunkStats(rg, col int) *Stats {

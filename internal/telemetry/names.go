@@ -41,6 +41,11 @@ const (
 	MetricScanPoolActive    = "ocs_scan_pool_active_workers"
 	MetricScanPoolQueued    = "ocs_scan_pool_queued_groups"
 	MetricScanPoolRowGroups = "ocs_scan_rowgroups_total"
+	// Zone-map pruning on the storage node: row groups skipped because
+	// footer stats proved the filter false, and the compressed bytes
+	// those groups would have read.
+	MetricScanRowGroupsPruned = "ocs_scan_rowgroups_pruned_total"
+	MetricScanBytesSkipped    = "ocs_scan_bytes_skipped_total"
 
 	// Engine query stage metrics (one observation per query).
 	MetricQueryTotal        = "engine_queries_total"
@@ -52,9 +57,13 @@ const (
 	MetricQueryPushdown     = "engine_query_pushdown_total"
 	MetricQuerySubstraitGen = "engine_query_substrait_gen_us"
 	MetricQueryTransfer     = "engine_query_transfer_us"
+	// MetricQuerySplitsPruned counts splits dropped before scheduling by
+	// per-object statistics (zone-map split pruning).
+	MetricQuerySplitsPruned = "engine_query_splits_pruned_total"
 
 	// Connector pushdown monitor (window-independent lifetime totals).
-	MetricMonitorQueries   = "ocs_monitor_queries_total"
-	MetricMonitorSuccesses = "ocs_monitor_successes_total"
-	MetricMonitorFallbacks = "ocs_monitor_fallback_splits_total"
+	MetricMonitorQueries      = "ocs_monitor_queries_total"
+	MetricMonitorSuccesses    = "ocs_monitor_successes_total"
+	MetricMonitorFallbacks    = "ocs_monitor_fallback_splits_total"
+	MetricMonitorSplitsPruned = "ocs_monitor_splits_pruned_total"
 )

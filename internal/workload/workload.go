@@ -139,6 +139,10 @@ func build(name, bucket string, cfg Config, schema *types.Schema,
 	if err != nil {
 		return nil, err
 	}
+	objStats, err := metastore.ObjectStatsFromImages(schema, objects, images)
+	if err != nil {
+		return nil, err
+	}
 	stats := make(map[string]metastore.ColumnStats, schema.Len())
 	for c, col := range schema.Columns {
 		cs := colStats[col.Name]
@@ -155,6 +159,7 @@ func build(name, bucket string, cfg Config, schema *types.Schema,
 		RowCount:     rows,
 		TotalBytes:   bytes,
 		ColumnStats:  stats,
+		ObjectStats:  objStats,
 		DisjointKeys: disjoint,
 	}
 	return d, nil
