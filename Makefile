@@ -1,13 +1,13 @@
 GO ?= go
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 # COVER_MIN is the floor for `make cover` over the pruning-critical
 # packages (expr, parquetlite, ocsserver). Measured combined coverage is
 # ~84%; the floor leaves headroom for small refactors but fails the gate
 # if tests are deleted wholesale.
 COVER_MIN ?= 80.0
 
-.PHONY: build test bench bench-paper faults check vet-vectorized vet-telemetry \
-	vet-pruning ci-fast ci-race ci cover
+.PHONY: build test bench bench-compare bench-paper faults check vet-vectorized \
+	vet-telemetry vet-pruning vet-cache ci-fast ci-race ci cover
 
 build:
 	$(GO) build ./...
@@ -17,16 +17,22 @@ test:
 
 # bench runs the kernel/operator microbenchmarks (vectorized expression
 # kernels, filter selectivity sweep, hash aggregation, sort/top-N), the
-# zone-map pruning selectivity sweep (pruned vs unpruned storage scans)
-# plus the tracing-overhead comparison (telemetry disabled vs enabled must
-# stay within 3%) and archives the numbers as $(BENCH_OUT); the
-# human-readable table still prints on stderr. The end-to-end paper sweeps
-# live under bench-paper.
+# zone-map pruning selectivity sweep (pruned vs unpruned storage scans),
+# the hot-page cache comparison (cold per-iteration decode vs a warmed
+# footer+page cache) plus the tracing-overhead comparison (telemetry
+# disabled vs enabled must stay within 3%) and archives the numbers as
+# $(BENCH_OUT); the human-readable table still prints on stderr. The
+# end-to-end paper sweeps live under bench-paper.
 bench:
 	{ $(GO) test -bench=. -benchmem -run '^$$' ./internal/exec/ ; \
-	  $(GO) test -bench=PruneSweep -benchmem -run '^$$' ./internal/ocsserver/ ; \
+	  $(GO) test -bench='PruneSweep|HotCache' -benchmem -run '^$$' ./internal/ocsserver/ ; \
 	  $(GO) test -bench=TracingOverhead -benchmem -run '^$$' ./internal/harness/ ; } \
 		| $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+
+# bench-compare diffs two benchjson archives and fails on >20% ns/op
+# regressions: make bench-compare OLD=BENCH_PR5.json NEW=BENCH_PR6.json
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
 
 # bench-paper regenerates the paper-evaluation benchmarks (full in-process
 # topology per iteration; slow).
@@ -35,9 +41,9 @@ bench-paper:
 
 # faults runs the failure-injection matrix twice under the race detector:
 # killed connections, black-holed links, dead compute units, cancelled
-# and deadline-bounded queries (DESIGN.md §5b).
+# and deadline-bounded queries, and cache-invalidation races (DESIGN.md §5b).
 faults:
-	$(GO) test -race -count=2 -run 'Fault|Kill|Cancel|Retry|Fallback|Deadline|Blackhole|ComputeUnit' \
+	$(GO) test -race -count=2 -run 'Fault|Kill|Cancel|Retry|Fallback|Deadline|Blackhole|ComputeUnit|CacheInvalidation' \
 		./internal/rpc/... ./internal/retry/... ./internal/faultnet/... \
 		./internal/ocsserver/... ./internal/harness/...
 
@@ -88,15 +94,42 @@ vet-pruning:
 	fi
 	@echo "vet-pruning: storage scan paths decode only post-prune row groups"
 
+# vet-cache guards the caching tier: per-query hot paths must go through
+# the cache package, not straight to the metastore or the footer decoder.
+# Direct metastore Get calls in the connectors/engine and direct
+# parquetlite.NewReader footer decodes in the storage executor or the OCS
+# connector need an explicit `// vet-cache:allow <reason>` annotation,
+# reserved for paths that genuinely must bypass the caches (the
+# engine-side raw fallback scan, cold utility paths).
+vet-cache:
+	@bad=$$(grep -n 'meta\.Get(\|metastore\.Get(' internal/connector/ocs/*.go internal/connector/hive/*.go internal/engine/*.go 2>/dev/null \
+		| grep -v '_test.go' | grep -v 'vet-cache:allow'); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-cache: direct metastore lookup on a per-query path (route through cache.TableCache"; \
+		echo "or annotate // vet-cache:allow <reason>):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@bad=$$(grep -n 'parquetlite\.NewReader(' internal/ocsserver/*.go internal/connector/ocs/*.go 2>/dev/null \
+		| grep -v '_test.go' | grep -v 'vet-cache:allow'); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-cache: direct footer decode on a per-query path (route through cache.FooterCache.Open"; \
+		echo "or annotate // vet-cache:allow <reason>):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@echo "vet-cache: per-query metadata and footer lookups go through the cache tier"
+
 # check is the verification gate: vet (plus the vectorized hot-path,
-# telemetry-manifest and pruning guards) and the full suite under the race
-# detector (the streaming RPC and parallel scanner are concurrency-heavy),
-# then the fault-injection matrix.
+# telemetry-manifest, pruning and caching guards) and the full suite under
+# the race detector (the streaming RPC and parallel scanner are
+# concurrency-heavy), then the fault-injection matrix.
 check:
 	$(GO) vet ./...
 	$(MAKE) vet-vectorized
 	$(MAKE) vet-telemetry
 	$(MAKE) vet-pruning
+	$(MAKE) vet-cache
 	$(GO) test -race ./...
 	$(MAKE) faults
 
@@ -116,6 +149,7 @@ ci-fast:
 	$(MAKE) vet-vectorized
 	$(MAKE) vet-telemetry
 	$(MAKE) vet-pruning
+	$(MAKE) vet-cache
 
 # ci-race is the CI race lane: the full suite under the race detector.
 ci-race:

@@ -1,18 +1,25 @@
 // Command benchjson converts `go test -bench` output into a JSON array so
 // benchmark runs can be archived and diffed (`make bench` pipes through it
-// to produce BENCH_PR3.json). The raw text is echoed to stderr so the
+// to produce BENCH_PR6.json). The raw text is echoed to stderr so the
 // human-readable table is not lost.
 //
 // Usage:
 //
 //	go test -bench=. -benchmem ./internal/exec/ | benchjson > BENCH.json
+//	benchjson -compare [-threshold 20] OLD.json NEW.json
+//
+// Compare mode diffs two archives on ns/op, prints a delta table, reports
+// benchmarks present in only one archive, and exits 1 when any benchmark
+// regressed by more than -threshold percent.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -27,6 +34,21 @@ type result struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "diff two benchjson archives instead of converting bench output")
+	threshold := flag.Float64("threshold", 20, "ns/op regression percentage that fails compare mode")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two archives: OLD.json NEW.json")
+			os.Exit(2)
+		}
+		os.Exit(compareArchives(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+	convert()
+}
+
+func convert() {
 	var results []result
 	var pkg string
 	sc := bufio.NewScanner(os.Stdin)
@@ -72,6 +94,83 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// compareArchives diffs two archives on ns/op and returns the process exit
+// code: 0 when no benchmark regressed past threshold, 1 otherwise.
+func compareArchives(oldPath, newPath string, threshold float64) int {
+	oldRes, err := loadArchive(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	newRes, err := loadArchive(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+
+	// Key by package/name so identically-named benchmarks in different
+	// packages do not collide.
+	key := func(r result) string { return r.Package + "/" + r.Name }
+	oldBy := map[string]result{}
+	for _, r := range oldRes {
+		oldBy[key(r)] = r
+	}
+	newBy := map[string]result{}
+	for _, r := range newRes {
+		newBy[key(r)] = r
+	}
+
+	var names []string
+	for k := range newBy {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	fmt.Printf("%-64s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, k := range names {
+		nr := newBy[k]
+		or, ok := oldBy[k]
+		if !ok {
+			fmt.Printf("%-64s %14s %14.1f %9s\n", nr.Name, "-", nr.Metrics["ns/op"], "new")
+			continue
+		}
+		oldNs, newNs := or.Metrics["ns/op"], nr.Metrics["ns/op"]
+		if oldNs == 0 {
+			continue
+		}
+		delta := (newNs - oldNs) / oldNs * 100
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-64s %14.1f %14.1f %+8.1f%%%s\n", nr.Name, oldNs, newNs, delta, mark)
+	}
+	for k, or := range oldBy {
+		if _, ok := newBy[k]; !ok {
+			fmt.Printf("%-64s %14.1f %14s %9s\n", or.Name, or.Metrics["ns/op"], "-", "removed")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%%\n", regressions, threshold)
+		return 1
+	}
+	return 0
+}
+
+func loadArchive(path string) ([]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var res []result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return res, nil
 }
 
 // trimProcSuffix strips the trailing -GOMAXPROCS from a benchmark name

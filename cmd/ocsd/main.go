@@ -3,6 +3,7 @@
 //
 //	ocsd [-listen 127.0.0.1:7app] [-nodes 1] [-node-listen 127.0.0.1:0]
 //	     [-metrics-listen 127.0.0.1:9741]
+//	     [-footer-cache-bytes 8388608] [-page-cache-bytes 67108864]
 //
 // The frontend address is printed on startup; pass it to prestolite via
 // -ocs, or to examples via OCS_ADDR. With -metrics-listen, a debug HTTP
@@ -19,6 +20,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"prestocs/internal/cache"
 	"prestocs/internal/ocsserver"
 	"prestocs/internal/telemetry"
 )
@@ -28,6 +30,8 @@ func main() {
 	nodes := flag.Int("nodes", 1, "storage node count")
 	nodeListen := flag.String("node-listen", "127.0.0.1:0", "storage node listen address pattern (port 0 = ephemeral)")
 	metricsListen := flag.String("metrics-listen", "", "debug HTTP address for /metrics and /debug/traces (empty = disabled)")
+	footerCacheBytes := flag.Int64("footer-cache-bytes", cache.DefaultFooterCacheBytes, "per-node decoded-footer cache budget (0 disables)")
+	pageCacheBytes := flag.Int64("page-cache-bytes", cache.DefaultPageCacheBytes, "per-node hot-page cache budget (0 disables)")
 	flag.Parse()
 
 	if *nodes <= 0 {
@@ -42,6 +46,7 @@ func main() {
 	var storageNodes []*ocsserver.StorageNode
 	for i := 0; i < *nodes; i++ {
 		node := ocsserver.NewStorageNode(i)
+		node.Caches = cache.NewStorage(*footerCacheBytes, *pageCacheBytes)
 		if reg != nil {
 			node.Metrics = reg
 			node.Tracer = telemetry.NewTracer(0)

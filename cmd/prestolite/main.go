@@ -4,6 +4,7 @@
 //
 //	prestolite -catalog catalog.json -ocs <frontend-addr> [-objstore <addr>]
 //	           [-pushdown all|none|filter|...|auto] [-explain] [-profile]
+//	           [-meta-cache-tables 1024]
 //	           "SELECT ..."
 //
 // Without a query argument it reads statements from stdin, one per line.
@@ -23,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"prestocs/internal/cache"
 	"prestocs/internal/connector/hive"
 	ocsconn "prestocs/internal/connector/ocs"
 	"prestocs/internal/engine"
@@ -39,6 +41,7 @@ func main() {
 	pushdown := flag.String("pushdown", "all", "ocs pushdown mode (none, filter, ..., all, auto)")
 	explain := flag.Bool("explain", false, "print the optimized plan before results")
 	profile := flag.Bool("profile", false, "print a per-query trace profile after each statement")
+	metaCacheTables := flag.Int("meta-cache-tables", cache.DefaultTableCacheEntries, "table-metadata cache entries per catalog (0 disables)")
 	flag.Parse()
 
 	if *ocsAddr == "" {
@@ -60,15 +63,22 @@ func main() {
 	ocsCli := ocsserver.NewClient(*ocsAddr, ocsOpts...)
 	defer ocsCli.Close()
 	conn := ocsconn.New("ocs", ms, ocsCli)
+	conn.SetTableCacheEntries(*metaCacheTables)
 	eng.AddConnector(conn)
 	eng.AddEventListener(conn.Monitor())
 	if *profile {
 		conn.Monitor().SetMetrics(eng.Metrics)
+		conn.SetMetrics(eng.Metrics)
 	}
 	if *objAddr != "" {
 		objCli := objstore.NewClient(*objAddr)
 		defer objCli.Close()
-		eng.AddConnector(hive.New("hive", ms, objCli))
+		hiveConn := hive.New("hive", ms, objCli)
+		hiveConn.SetTableCacheEntries(*metaCacheTables)
+		if *profile {
+			hiveConn.SetMetrics(eng.Metrics)
+		}
+		eng.AddConnector(hiveConn)
 	}
 
 	run := func(sql string) {

@@ -1,0 +1,133 @@
+package cache
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// byteLRU is a thread-safe LRU map bounded by a byte budget rather than
+// an entry count, so one cache instance can hold values of very different
+// sizes (a 2 KiB footer next to a 1 MiB column chunk) without tuning.
+type byteLRU struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	ll     *list.List               // front = most recently used
+	items  map[string]*list.Element // element value is *lruEntry
+	// onEvict observes capacity evictions (not explicit invalidations);
+	// it is called outside the cache lock.
+	onEvict func(key string, size int64)
+}
+
+type lruEntry struct {
+	key  string
+	val  any
+	size int64
+}
+
+func newByteLRU(budget int64, onEvict func(key string, size int64)) *byteLRU {
+	return &byteLRU{
+		budget:  budget,
+		ll:      list.New(),
+		items:   make(map[string]*list.Element),
+		onEvict: onEvict,
+	}
+}
+
+// get returns the cached value and refreshes its recency.
+func (c *byteLRU) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts or refreshes an entry, evicting from the cold end until the
+// budget holds. A value larger than the entire budget is rejected instead
+// of flushing the whole cache for one entry.
+func (c *byteLRU) put(key string, val any, size int64) bool {
+	if size > c.budget {
+		return false
+	}
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*lruEntry)
+		c.used += size - e.size
+		e.val, e.size = val, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val, size: size})
+		c.used += size
+	}
+	var evicted []*lruEntry
+	for c.used > c.budget {
+		el := c.ll.Back()
+		e := el.Value.(*lruEntry)
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+		c.used -= e.size
+		evicted = append(evicted, e)
+	}
+	c.mu.Unlock()
+	if c.onEvict != nil {
+		for _, e := range evicted {
+			c.onEvict(e.key, e.size)
+		}
+	}
+	return true
+}
+
+// invalidate drops one entry if present.
+func (c *byteLRU) invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.used -= el.Value.(*lruEntry).size
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// invalidatePrefix drops every entry whose key starts with prefix (used
+// to release all versions of one object early; version-embedded keys
+// already guarantee stale entries can never be hit).
+func (c *byteLRU) invalidatePrefix(prefix string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.items {
+		if strings.HasPrefix(key, prefix) {
+			c.used -= el.Value.(*lruEntry).size
+			c.ll.Remove(el)
+			delete(c.items, key)
+		}
+	}
+}
+
+// purge drops every entry (no onEvict callbacks; this is an explicit
+// flush, not capacity pressure).
+func (c *byteLRU) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.used = 0
+}
+
+// bytes reports the current budget usage.
+func (c *byteLRU) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// entries reports the current entry count.
+func (c *byteLRU) entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

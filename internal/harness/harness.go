@@ -95,7 +95,8 @@ func StartClusterWith(storageNodes int, cfg Config) (*Cluster, error) {
 	c.Engine.DefaultCatalog = CatalogOCS
 	c.OCSConn = ocsconn.New(CatalogOCS, c.Meta, c.OCSCli)
 	c.Engine.AddConnector(c.OCSConn)
-	c.Engine.AddConnector(hive.New(CatalogHive, c.Meta, c.ObjCli))
+	hiveConn := hive.New(CatalogHive, c.Meta, c.ObjCli)
+	c.Engine.AddConnector(hiveConn)
 	c.Engine.AddEventListener(c.OCSConn.Monitor())
 	if cfg.Telemetry {
 		c.Engine.Metrics = c.Metrics
@@ -105,8 +106,21 @@ func StartClusterWith(storageNodes int, cfg Config) (*Cluster, error) {
 			c.Tracers[label] = tr
 		}
 		c.OCSConn.Monitor().SetMetrics(c.Metrics)
+		c.OCSConn.SetMetrics(c.Metrics)
+		hiveConn.SetMetrics(c.Metrics)
 	}
 	return c, nil
+}
+
+// FlushNodeCaches empties the footer and hot-page caches of every OCS
+// storage node, restoring cold-scan conditions for a measurement.
+func (c *Cluster) FlushNodeCaches() {
+	if c.OCS == nil {
+		return
+	}
+	for _, n := range c.OCS.Nodes {
+		n.Caches.Flush()
+	}
 }
 
 // Close shuts everything down.
@@ -165,8 +179,13 @@ func (c *Cluster) Run(label, query string, session *engine.Session) (*Cell, erro
 }
 
 // RunCtx executes one query under a session and prices it, honoring ctx
-// for cancellation and deadlines.
+// for cancellation and deadlines. Storage-node caches are flushed first:
+// the paper's figures measure cold scans, and at 24 GB scale no working
+// set fits a 64 MiB page cache anyway — so measured cells must not
+// inherit footers or pages a previous cell decoded. Tests that exercise
+// warm-cache behavior call Engine.Execute directly.
 func (c *Cluster) RunCtx(ctx context.Context, label, query string, session *engine.Session) (*Cell, error) {
+	c.FlushNodeCaches()
 	start := time.Now()
 	res, err := c.Engine.Execute(ctx, query, session)
 	if err != nil {

@@ -77,14 +77,19 @@ func (t *Table) Stats(column string) (ColumnStats, bool) {
 type Metastore struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// versions counts registration changes per table key. Register and
+	// Drop bump it, so a cached table definition (internal/cache) detects
+	// staleness with one Version call instead of a full re-read. Versions
+	// survive drops: re-registering a dropped table continues its counter.
+	versions map[string]uint64
 }
 
 // New returns an empty metastore.
 func New() *Metastore {
-	return &Metastore{tables: make(map[string]*Table)}
+	return &Metastore{tables: make(map[string]*Table), versions: make(map[string]uint64)}
 }
 
-// Register adds or replaces a table.
+// Register adds or replaces a table, bumping its version.
 func (m *Metastore) Register(t *Table) error {
 	if t.Schema == "" || t.Name == "" {
 		return fmt.Errorf("metastore: table needs schema and name")
@@ -94,8 +99,19 @@ func (m *Metastore) Register(t *Table) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.tables[strings.ToLower(t.QualifiedName())] = t
+	key := strings.ToLower(t.QualifiedName())
+	m.versions[key]++
+	m.tables[key] = t
 	return nil
+}
+
+// Version returns the table's registration version (0 when the table was
+// never registered). It is the cheap staleness check the metadata cache
+// performs on every hit.
+func (m *Metastore) Version(schema, name string) uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.versions[strings.ToLower(schema+"."+name)]
 }
 
 // Get looks a table up by schema and name (case-insensitive).
@@ -121,11 +137,15 @@ func (m *Metastore) List() []string {
 	return out
 }
 
-// Drop removes a table.
+// Drop removes a table, bumping its version so cached entries invalidate.
 func (m *Metastore) Drop(schema, name string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	delete(m.tables, strings.ToLower(schema+"."+name))
+	key := strings.ToLower(schema + "." + name)
+	if _, ok := m.tables[key]; ok {
+		m.versions[key]++
+	}
+	delete(m.tables, key)
 }
 
 // Save persists the catalog as JSON.

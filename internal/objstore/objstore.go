@@ -26,12 +26,19 @@ import (
 type Store struct {
 	mu      sync.RWMutex
 	buckets map[string]map[string][]byte
+	// gens tracks a per-object generation, bumped on every Put and
+	// Delete. Cache keys embed it (the etag/version of the cache tier),
+	// so a re-put object can never hit a stale footer or page entry.
+	gens map[string]uint64
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{buckets: make(map[string]map[string][]byte)}
+	return &Store{buckets: make(map[string]map[string][]byte), gens: make(map[string]uint64)}
 }
+
+// genKey is the generation-map key for bucket/key.
+func genKey(bucket, key string) string { return bucket + "\x00" + key }
 
 // CreateBucket makes a bucket (idempotent).
 func (s *Store) CreateBucket(bucket string) {
@@ -54,6 +61,7 @@ func (s *Store) Put(bucket, key string, data []byte) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	b[key] = cp
+	s.gens[genKey(bucket, key)]++
 }
 
 // Get fetches an object.
@@ -76,8 +84,28 @@ func (s *Store) Delete(bucket, key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if b, ok := s.buckets[bucket]; ok {
+		if _, existed := b[key]; existed {
+			s.gens[genKey(bucket, key)]++
+		}
 		delete(b, key)
 	}
+}
+
+// GetVersioned fetches an object together with its generation, the
+// version cache keys embed. The generation changes on every Put, so two
+// equal generations imply byte-identical content.
+func (s *Store) GetVersioned(bucket, key string) ([]byte, uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.buckets[bucket]
+	if !ok {
+		return nil, 0, fmt.Errorf("objstore: no such bucket %q", bucket)
+	}
+	data, ok := b[key]
+	if !ok {
+		return nil, 0, fmt.Errorf("objstore: no such object %q/%q", bucket, key)
+	}
+	return data, s.gens[genKey(bucket, key)], nil
 }
 
 // List returns the sorted keys in a bucket with the given prefix.

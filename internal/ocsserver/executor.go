@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"sync"
 
+	"prestocs/internal/cache"
 	"prestocs/internal/column"
 	"prestocs/internal/compress"
 	"prestocs/internal/costmodel"
@@ -22,6 +23,7 @@ import (
 	"prestocs/internal/rpc"
 	"prestocs/internal/substrait"
 	"prestocs/internal/telemetry"
+	"prestocs/internal/types"
 )
 
 // execEnv carries the shared state of one local plan execution: the
@@ -39,6 +41,11 @@ type execEnv struct {
 	// noPrune disables statistics-driven row-group pruning; the
 	// differential property tests compare pruned runs against it.
 	noPrune bool
+
+	// caches holds the node's footer and hot-page caches; nil runs fully
+	// uncached (in-process ExecuteLocal callers and the connector's
+	// fallback replay, which must not touch node caches it cannot see).
+	caches *cache.Storage
 
 	// ctx carries the ambient tracer, span and metrics registry of the
 	// request this execution serves; nil means no telemetry (in-process
@@ -177,11 +184,14 @@ func compileRel(store *objstore.Store, rel substrait.Rel, env *execEnv) (exec.Op
 // scan pool larger than one and several surviving row groups, the source
 // scans row groups concurrently with an order-preserving merge.
 func compileRead(store *objstore.Store, read *substrait.ReadRel, pruneWith expr.Expr, env *execEnv) (exec.Operator, error) {
-	data, err := store.Get(read.Bucket, read.Object)
+	data, ver, err := store.GetVersioned(read.Bucket, read.Object)
 	if err != nil {
 		return nil, rpc.WithCode(err, rpc.CodeNotFound)
 	}
-	r, err := parquetlite.NewReader(data)
+	// The object key embeds the store generation, so footers and pages
+	// cached for an earlier version of a re-put object can never be hit.
+	objKey := cache.ObjectKey(read.Bucket, read.Object, ver)
+	r, err := env.caches.Footer().Open(objKey, data)
 	if err != nil {
 		return nil, fmt.Errorf("ocsserver: %s/%s: %w", read.Bucket, read.Object, err)
 	}
@@ -204,10 +214,15 @@ func compileRead(store *objstore.Store, read *substrait.ReadRel, pruneWith expr.
 
 	// Remap the predicate from read-output ordinals to full-schema
 	// ordinals for pruning; skip pruning when the mapping is partial.
+	// Pruning-heavy scans (at least half the groups skipped) switch the
+	// page cache to two-touch admission: a highly selective workload
+	// rarely re-reads the same surviving chunks, so first sightings go to
+	// the ghost list instead of evicting genuinely hot pages.
 	groups := make([]int, len(r.Meta().RowGroups))
 	for i := range groups {
 		groups[i] = i
 	}
+	twoTouch := false
 	if pruneWith != nil && !env.noPrune {
 		mapping := make(map[int]int, len(cols))
 		for outIdx, fullIdx := range cols {
@@ -219,18 +234,18 @@ func compileRead(store *objstore.Store, read *substrait.ReadRel, pruneWith expr.
 				if len(pruned) > 0 {
 					recordPrune(env, read.Object, pruned, skipped)
 					groups = keep
+					twoTouch = 2*len(pruned) >= len(r.Meta().RowGroups)
 				}
 			}
 		}
 	}
 
 	if env.scanPool > 1 && len(groups) > 1 {
-		return parallelScan(env, data, groups, cols, outSchema), nil
+		return parallelScan(env, data, r.Meta(), objKey, groups, cols, twoTouch, outSchema), nil
 	}
 
 	idx := 0
-	var prevRead, prevDecompressed int64
-	codec := r.Meta().Codec
+	projSchema := r.Meta().Schema.Project(cols)
 	scanned := telemetry.RegistryFrom(env.context()).Counter(telemetry.MetricScanPoolRowGroups)
 	return exec.NewFuncSource(outSchema, func() (*column.Page, error) {
 		if idx >= len(groups) {
@@ -240,21 +255,52 @@ func compileRead(store *objstore.Store, read *substrait.ReadRel, pruneWith expr.
 		idx++
 		_, sp := telemetry.StartSpan(env.context(), "scan.rowgroup")
 		sp.SetAttr("group", strconv.Itoa(rg))
-		page, err := r.ReadRowGroup(rg, cols) // vet-pruning:allow rg comes from the post-prune keep list
+		page, err := env.readGroup(r, objKey, rg, cols, projSchema, twoTouch)
 		sp.End()
 		scanned.Inc()
 		if err != nil {
 			return nil, err
 		}
-		// Merge reader I/O counters incrementally so stats stay correct
-		// even if the pipeline stops early (e.g. under a Limit) and when
-		// several reads share one stats sink.
-		deltaDec := r.BytesDecompressed - prevDecompressed
-		env.addStatsDelta(r.BytesRead-prevRead, deltaDec,
-			float64(deltaDec)*compress.DecompressCostPerByte(codec))
-		prevRead, prevDecompressed = r.BytesRead, r.BytesDecompressed
 		return page, nil
 	}), nil
+}
+
+// readGroup materializes one row group's projected columns, serving
+// individual chunks from the node's hot-page cache when possible. It is
+// the single post-prune decode site: every rg comes from a keep list.
+// Cache hits cost no storage I/O or decompression, so only the chunks
+// actually decoded are merged into the work stats — which is exactly the
+// bytes-decoded drop BenchmarkHotCache measures.
+func (env *execEnv) readGroup(r *parquetlite.Reader, objKey string, rg int, cols []int, schema *types.Schema, twoTouch bool) (*column.Page, error) {
+	pc := env.caches.Pages()
+	prevRead, prevDec := r.BytesRead, r.BytesDecompressed
+	page := &column.Page{Schema: schema, Vectors: make([]*column.Vector, len(cols))}
+	for i, c := range cols {
+		var key string
+		if pc != nil {
+			key = cache.PageKey(objKey, rg, c)
+			if vec, ok := pc.Get(key); ok {
+				page.Vectors[i] = vec
+				continue
+			}
+		}
+		vec, err := r.ReadColumn(rg, c) // vet-pruning:allow rg comes from the post-prune keep list
+		if err != nil {
+			return nil, err
+		}
+		if pc != nil {
+			pc.Put(key, vec, twoTouch)
+		}
+		page.Vectors[i] = vec
+	}
+	// Merge reader I/O counters incrementally so stats stay correct even
+	// if the pipeline stops early (e.g. under a Limit) and when several
+	// reads share one stats sink.
+	if deltaDec := r.BytesDecompressed - prevDec; deltaDec > 0 || r.BytesRead > prevRead {
+		env.addStatsDelta(r.BytesRead-prevRead, deltaDec,
+			float64(deltaDec)*compress.DecompressCostPerByte(r.Meta().Codec))
+	}
+	return page, nil
 }
 
 // recordPrune publishes one object's row-group pruning decision: the
@@ -286,20 +332,40 @@ func ExecuteLocal(store *objstore.Store, plan *substrait.Plan) ([]*column.Page, 
 
 // ExecuteLocalPool is ExecuteLocal with an explicit row-group scan pool
 // size; pool <= 0 selects the cost-model default, pool == 1 forces the
-// sequential scanner.
+// sequential scanner. It runs fully uncached — the connector's fallback
+// replay depends on this to bypass (never corrupt) node caches it has no
+// view of.
 func ExecuteLocalPool(store *objstore.Store, plan *substrait.Plan, pool int) ([]*column.Page, *objstore.WorkStats, error) {
-	return executeLocalPool(store, plan, pool, false)
+	return executeLocalPool(store, plan, pool, false, nil)
+}
+
+// ExecuteLocalCached is ExecuteLocalPool with an explicit cache bundle,
+// the entry point for cache-aware in-process callers (tests and
+// BenchmarkHotCache); a nil bundle is the uncached path.
+func ExecuteLocalCached(store *objstore.Store, plan *substrait.Plan, pool int, caches *cache.Storage) ([]*column.Page, *objstore.WorkStats, error) {
+	if _, err := plan.Validate(); err != nil {
+		return nil, nil, err
+	}
+	env := newExecEnv(pool)
+	env.caches = caches
+	return runEnv(store, plan, env)
 }
 
 // executeLocalPool is the shared implementation; noPrune disables
 // statistics-driven row-group pruning so differential tests (and the
 // selectivity-sweep benchmark) can compare against the full scan.
-func executeLocalPool(store *objstore.Store, plan *substrait.Plan, pool int, noPrune bool) ([]*column.Page, *objstore.WorkStats, error) {
+func executeLocalPool(store *objstore.Store, plan *substrait.Plan, pool int, noPrune bool, caches *cache.Storage) ([]*column.Page, *objstore.WorkStats, error) {
 	if _, err := plan.Validate(); err != nil {
 		return nil, nil, err
 	}
 	env := newExecEnv(pool)
 	env.noPrune = noPrune
+	env.caches = caches
+	return runEnv(store, plan, env)
+}
+
+// runEnv compiles and drains a validated plan under a prepared env.
+func runEnv(store *objstore.Store, plan *substrait.Plan, env *execEnv) ([]*column.Page, *objstore.WorkStats, error) {
 	op, err := compilePlan(store, plan, env)
 	if err != nil {
 		env.close()

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"prestocs/internal/arrowlite"
+	"prestocs/internal/cache"
 	"prestocs/internal/column"
 	"prestocs/internal/objstore"
 	"prestocs/internal/protowire"
@@ -49,6 +50,12 @@ type StorageNode struct {
 	Metrics *telemetry.Registry
 	Tracer  *telemetry.Tracer
 
+	// Caches holds the node's footer and hot-page caches (DESIGN.md §6).
+	// NewStorageNode installs defaults; replace (or nil out) before the
+	// first query to resize or disable. Listen binds its counters to
+	// Metrics under this node's label.
+	Caches *cache.Storage
+
 	faultMu   sync.Mutex
 	execFault error
 }
@@ -70,9 +77,15 @@ func (n *StorageNode) executeFault() error {
 	return n.execFault
 }
 
-// NewStorageNode creates a node with an empty store.
+// NewStorageNode creates a node with an empty store and default-sized
+// footer and hot-page caches.
 func NewStorageNode(id int) *StorageNode {
-	n := &StorageNode{ID: id, store: objstore.NewStore(), rpc: rpc.NewServer()}
+	n := &StorageNode{
+		ID:     id,
+		store:  objstore.NewStore(),
+		rpc:    rpc.NewServer(),
+		Caches: cache.NewStorage(cache.DefaultFooterCacheBytes, cache.DefaultPageCacheBytes),
+	}
 	n.rpc.RegisterStream(NodeMethodExecute, n.handleExecute)
 	n.rpc.Register(NodeMethodPut, n.handlePut)
 	n.rpc.Register(NodeMethodGet, n.handleGet)
@@ -87,6 +100,7 @@ func (n *StorageNode) Store() *objstore.Store { return n.store }
 func (n *StorageNode) Listen(addr string) (string, error) {
 	n.rpc.Metrics = n.Metrics
 	n.rpc.Tracer = n.Tracer
+	n.Caches.Instrument(n.Metrics, "node", n.nodeLabel())
 	return n.rpc.Listen(addr)
 }
 
@@ -130,6 +144,7 @@ func (n *StorageNode) handleExecute(ctx context.Context, payload []byte, send fu
 	}
 	env := newExecEnv(n.ScanPool)
 	env.ctx = ctx
+	env.caches = n.Caches
 	defer env.close()
 	op, err := compilePlan(n.store, plan, env)
 	if err != nil {
@@ -278,6 +293,10 @@ func (n *StorageNode) handlePut(_ context.Context, payload []byte) ([]byte, erro
 		return nil, fmt.Errorf("node %d: put requires bucket and key", n.ID)
 	}
 	n.store.Put(bucket, key, data)
+	// Release cached footers/pages of the overwritten object early. The
+	// store generation in every cache key already makes stale hits
+	// impossible; this just frees the budget immediately.
+	n.Caches.InvalidateObject(bucket, key)
 	return nil, nil
 }
 

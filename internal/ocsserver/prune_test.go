@@ -175,8 +175,8 @@ func TestPruneDifferentialProperty(t *testing.T) {
 		if trial%5 == 0 {
 			pool = 4
 		}
-		pruned, _, errP := executeLocalPool(store, plan, pool, false)
-		full, _, errF := executeLocalPool(store, plan, pool, true)
+		pruned, _, errP := executeLocalPool(store, plan, pool, false, nil)
+		full, _, errF := executeLocalPool(store, plan, pool, true, nil)
 		if (errP == nil) != (errF == nil) {
 			t.Fatalf("trial %d (%s): pruned err=%v full err=%v", trial, pred.String(), errP, errF)
 		}
@@ -203,11 +203,11 @@ func TestPruneDifferentialWithProjection(t *testing.T) {
 	}
 	read := &substrait.ReadRel{Bucket: "b", Object: "o", BaseSchema: pruneSchema(), Projection: []int{1, 0}}
 	plan := substrait.NewPlan(&substrait.FilterRel{Input: read, Condition: cond})
-	pruned, _, err := executeLocalPool(store, plan, 1, false)
+	pruned, _, err := executeLocalPool(store, plan, 1, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, _, err := executeLocalPool(store, plan, 1, true)
+	full, _, err := executeLocalPool(store, plan, 1, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

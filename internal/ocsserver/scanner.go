@@ -6,7 +6,6 @@ import (
 	"sync/atomic"
 
 	"prestocs/internal/column"
-	"prestocs/internal/compress"
 	"prestocs/internal/exec"
 	"prestocs/internal/parquetlite"
 	"prestocs/internal/telemetry"
@@ -32,13 +31,18 @@ type scanSlot struct {
 //     consumes. That bounds scan-ahead to roughly 2x the pool size, so a
 //     slow consumer does not force the whole object into memory.
 //   - Every worker opens its own parquetlite.Reader over the shared file
-//     image; readers carry per-instance I/O counters, so sharing one
-//     across goroutines would race. Deltas merge into env.stats per row
-//     group, keeping partial stats correct on early stop.
+//     image (with the already-decoded footer injected, so no worker
+//     re-decodes it); readers carry per-instance I/O counters, so sharing
+//     one across goroutines would race. Deltas merge into env.stats per
+//     row group, keeping partial stats correct on early stop.
 //   - env.close() (run by the executor or node handler after the drain)
 //     closes stopCh and waits for the pool, bounding wasted work after
 //     abandonment to at most one in-flight row group per worker.
-func parallelScan(env *execEnv, data []byte, groups, cols []int, outSchema *types.Schema) exec.Operator {
+//
+// Reads go through env.readGroup, so chunks land in (and are served
+// from) the node's hot-page cache; objKey and twoTouch carry the cache
+// key and the admission mode compileRead derived from prune selectivity.
+func parallelScan(env *execEnv, data []byte, meta *parquetlite.FileMeta, objKey string, groups, cols []int, twoTouch bool, outSchema *types.Schema) exec.Operator {
 	workers := env.scanPool
 	if workers > len(groups) {
 		workers = len(groups)
@@ -72,11 +76,12 @@ func parallelScan(env *execEnv, data []byte, groups, cols []int, outSchema *type
 	scanned := reg.Counter(telemetry.MetricScanPoolRowGroups)
 	queued.Add(int64(len(groups)))
 
+	projSchema := meta.Schema.Project(cols)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r, err := parquetlite.NewReader(data)
+			r, err := parquetlite.NewReaderWithMeta(data, meta)
 			if err != nil {
 				// The image parsed once already in compileRead, so this is
 				// near-impossible; deliver the error to every slot this
@@ -95,8 +100,6 @@ func parallelScan(env *execEnv, data []byte, groups, cols []int, outSchema *type
 					slots[idx] <- scanSlot{err: err}
 				}
 			}
-			codec := r.Meta().Codec
-			var prevRead, prevDec int64
 			for {
 				select {
 				case <-stopCh:
@@ -111,14 +114,10 @@ func parallelScan(env *execEnv, data []byte, groups, cols []int, outSchema *type
 				active.Add(1)
 				_, sp := telemetry.StartSpan(env.context(), "scan.rowgroup")
 				sp.SetAttr("group", strconv.Itoa(groups[idx]))
-				page, err := r.ReadRowGroup(groups[idx], cols) // vet-pruning:allow groups is the post-prune keep list
+				page, err := env.readGroup(r, objKey, groups[idx], cols, projSchema, twoTouch)
 				sp.End()
 				active.Add(-1)
 				scanned.Inc()
-				deltaDec := r.BytesDecompressed - prevDec
-				env.addStatsDelta(r.BytesRead-prevRead, deltaDec,
-					float64(deltaDec)*compress.DecompressCostPerByte(codec))
-				prevRead, prevDec = r.BytesRead, r.BytesDecompressed
 				slots[idx] <- scanSlot{page: page, err: err}
 			}
 		}()

@@ -69,6 +69,24 @@ func NewReader(data []byte) (*Reader, error) {
 	return &Reader{data: data, meta: meta}, nil
 }
 
+// NewReaderWithMeta opens a file image with an already-decoded footer,
+// skipping the footer decode and chunk-bounds validation that NewReader
+// performs — the injected-footer path the storage node's footer cache
+// uses. meta must have been produced by NewReader over a byte-identical
+// image (the cache guarantees this by keying footers on the object
+// version), so only the cheap magic framing is re-checked here.
+func NewReaderWithMeta(data []byte, meta *FileMeta) (*Reader, error) {
+	if len(data) < 2*len(Magic)+4 ||
+		string(data[:len(Magic)]) != string(Magic) ||
+		string(data[len(data)-len(Magic):]) != string(Magic) {
+		return nil, ErrCorrupt
+	}
+	if meta == nil {
+		return nil, fmt.Errorf("parquetlite: NewReaderWithMeta requires a footer")
+	}
+	return &Reader{data: data, meta: meta}, nil
+}
+
 // Meta returns the decoded footer.
 func (r *Reader) Meta() *FileMeta { return r.meta }
 

@@ -66,4 +66,28 @@ const (
 	MetricMonitorSuccesses    = "ocs_monitor_successes_total"
 	MetricMonitorFallbacks    = "ocs_monitor_fallback_splits_total"
 	MetricMonitorSplitsPruned = "ocs_monitor_splits_pruned_total"
+
+	// Engine-side table-metadata cache (labels: catalog). Hit ratios are
+	// lifetime percentages (0-100).
+	MetricMetaCacheHits          = "cache_meta_hits_total"
+	MetricMetaCacheMisses        = "cache_meta_misses_total"
+	MetricMetaCacheInvalidations = "cache_meta_invalidations_total"
+	MetricMetaCacheHitRatio      = "cache_meta_hit_ratio_pct"
+
+	// Storage-node decoded-footer cache (labels: node).
+	MetricFooterCacheHits      = "ocs_cache_footer_hits_total"
+	MetricFooterCacheMisses    = "ocs_cache_footer_misses_total"
+	MetricFooterCacheEvictions = "ocs_cache_footer_evictions_total"
+	MetricFooterCacheBytes     = "ocs_cache_footer_bytes"
+	MetricFooterCacheHitRatio  = "ocs_cache_footer_hit_ratio_pct"
+
+	// Storage-node hot-page (decoded column chunk) cache (labels: node).
+	// Rejected counts chunks the two-touch admission policy declined to
+	// cache on their first sighting during pruning-heavy scans.
+	MetricPageCacheHits      = "ocs_cache_page_hits_total"
+	MetricPageCacheMisses    = "ocs_cache_page_misses_total"
+	MetricPageCacheEvictions = "ocs_cache_page_evictions_total"
+	MetricPageCacheBytes     = "ocs_cache_page_bytes"
+	MetricPageCacheHitRatio  = "ocs_cache_page_hit_ratio_pct"
+	MetricPageCacheRejected  = "ocs_cache_page_admission_rejected_total"
 )
