@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 # COVER_MIN is the floor for `make cover` over the pruning-critical
 # packages (expr, parquetlite, ocsserver). Measured combined coverage is
 # ~84%; the floor leaves headroom for small refactors but fails the gate
@@ -7,7 +7,7 @@ BENCH_OUT ?= BENCH_PR6.json
 COVER_MIN ?= 80.0
 
 .PHONY: build test bench bench-compare bench-paper faults check vet-vectorized \
-	vet-telemetry vet-pruning vet-cache ci-fast ci-race ci cover
+	vet-telemetry vet-pruning vet-cache vet-concurrency ci-fast ci-race ci cover
 
 build:
 	$(GO) build ./...
@@ -19,14 +19,15 @@ test:
 # kernels, filter selectivity sweep, hash aggregation, sort/top-N), the
 # zone-map pruning selectivity sweep (pruned vs unpruned storage scans),
 # the hot-page cache comparison (cold per-iteration decode vs a warmed
-# footer+page cache) plus the tracing-overhead comparison (telemetry
-# disabled vs enabled must stay within 3%) and archives the numbers as
-# $(BENCH_OUT); the human-readable table still prints on stderr. The
+# footer+page cache), the tracing-overhead comparison (telemetry disabled
+# vs enabled must stay within 3%) and the mixed-traffic latency profile
+# (small-query p50/p99 while heavy scans run), and archives the numbers
+# as $(BENCH_OUT); the human-readable table still prints on stderr. The
 # end-to-end paper sweeps live under bench-paper.
 bench:
 	{ $(GO) test -bench=. -benchmem -run '^$$' ./internal/exec/ ; \
 	  $(GO) test -bench='PruneSweep|HotCache' -benchmem -run '^$$' ./internal/ocsserver/ ; \
-	  $(GO) test -bench=TracingOverhead -benchmem -run '^$$' ./internal/harness/ ; } \
+	  $(GO) test -bench='TracingOverhead|MixedTraffic' -benchmem -run '^$$' ./internal/harness/ ; } \
 		| $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 
 # bench-compare diffs two benchjson archives and fails on >20% ns/op
@@ -41,11 +42,13 @@ bench-paper:
 
 # faults runs the failure-injection matrix twice under the race detector:
 # killed connections, black-holed links, dead compute units, cancelled
-# and deadline-bounded queries, and cache-invalidation races (DESIGN.md §5b).
+# and deadline-bounded queries, cache-invalidation races, and the
+# mixed-traffic load scenarios (starvation, slow readers, killed clients
+# mid-stream) (DESIGN.md §5b, §7).
 faults:
-	$(GO) test -race -count=2 -run 'Fault|Kill|Cancel|Retry|Fallback|Deadline|Blackhole|ComputeUnit|CacheInvalidation' \
+	$(GO) test -race -count=2 -run 'Fault|Kill|Cancel|Retry|Fallback|Deadline|Blackhole|ComputeUnit|CacheInvalidation|Starvation|SlowClient|Backpressure|Overloaded' \
 		./internal/rpc/... ./internal/retry/... ./internal/faultnet/... \
-		./internal/ocsserver/... ./internal/harness/...
+		./internal/ocsserver/... ./internal/harness/... ./internal/engine/...
 
 # vet-vectorized guards the vectorized hot path: per-row expression
 # evaluation (expr.EvalRow) must not reappear in the operator library or
@@ -120,16 +123,42 @@ vet-cache:
 	fi
 	@echo "vet-cache: per-query metadata and footer lookups go through the cache tier"
 
+# vet-concurrency guards the shared-scheduler invariant (DESIGN.md §7):
+# storage-node scan work must flow through the node-wide fair scheduler.
+# Constructing a scheduler (the old per-query worker-pool shape) anywhere
+# in internal/ocsserver needs an explicit `// vet-concurrency:allow
+# <reason>` annotation, reserved for the node-wide instance and the
+# in-process entry point; and the scanner itself must stay free of ad-hoc
+# goroutines — its parallelism budget belongs to the scheduler.
+vet-concurrency:
+	@bad=$$(grep -n 'newScanScheduler(' internal/ocsserver/*.go 2>/dev/null \
+		| grep -v '_test.go' | grep -v 'scheduler.go' | grep -v 'vet-concurrency:allow'); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-concurrency: per-query scheduler construction in ocsserver (share the"; \
+		echo "node-wide scheduler or annotate // vet-concurrency:allow <reason>):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@bad=$$(grep -n 'go func' internal/ocsserver/scanner.go 2>/dev/null); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-concurrency: ad-hoc goroutine in the scanner; submit scanTasks to the"; \
+		echo "shared scheduler instead:"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@echo "vet-concurrency: scan work flows through the shared node-wide scheduler"
+
 # check is the verification gate: vet (plus the vectorized hot-path,
-# telemetry-manifest, pruning and caching guards) and the full suite under
-# the race detector (the streaming RPC and parallel scanner are
-# concurrency-heavy), then the fault-injection matrix.
+# telemetry-manifest, pruning, caching and shared-scheduler guards) and
+# the full suite under the race detector (the streaming RPC and parallel
+# scanner are concurrency-heavy), then the fault-injection matrix.
 check:
 	$(GO) vet ./...
 	$(MAKE) vet-vectorized
 	$(MAKE) vet-telemetry
 	$(MAKE) vet-pruning
 	$(MAKE) vet-cache
+	$(MAKE) vet-concurrency
 	$(GO) test -race ./...
 	$(MAKE) faults
 
@@ -150,6 +179,7 @@ ci-fast:
 	$(MAKE) vet-telemetry
 	$(MAKE) vet-pruning
 	$(MAKE) vet-cache
+	$(MAKE) vet-concurrency
 
 # ci-race is the CI race lane: the full suite under the race detector.
 ci-race:

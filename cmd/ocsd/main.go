@@ -4,6 +4,7 @@
 //	ocsd [-listen 127.0.0.1:7app] [-nodes 1] [-node-listen 127.0.0.1:0]
 //	     [-metrics-listen 127.0.0.1:9741]
 //	     [-footer-cache-bytes 8388608] [-page-cache-bytes 67108864]
+//	     [-scan-pool 0] [-stream-window 8]
 //
 // The frontend address is printed on startup; pass it to prestolite via
 // -ocs, or to examples via OCS_ADDR. With -metrics-listen, a debug HTTP
@@ -32,6 +33,8 @@ func main() {
 	metricsListen := flag.String("metrics-listen", "", "debug HTTP address for /metrics and /debug/traces (empty = disabled)")
 	footerCacheBytes := flag.Int64("footer-cache-bytes", cache.DefaultFooterCacheBytes, "per-node decoded-footer cache budget (0 disables)")
 	pageCacheBytes := flag.Int64("page-cache-bytes", cache.DefaultPageCacheBytes, "per-node hot-page cache budget (0 disables)")
+	scanPool := flag.Int("scan-pool", 0, "per-node scan-scheduler workers (0 = storage-node core count)")
+	streamWindow := flag.Int("stream-window", 0, "per-stream credit window in chunks (0 = default, negative disables backpressure)")
 	flag.Parse()
 
 	if *nodes <= 0 {
@@ -47,6 +50,8 @@ func main() {
 	for i := 0; i < *nodes; i++ {
 		node := ocsserver.NewStorageNode(i)
 		node.Caches = cache.NewStorage(*footerCacheBytes, *pageCacheBytes)
+		node.ScanPool = *scanPool
+		node.StreamWindow = *streamWindow
 		if reg != nil {
 			node.Metrics = reg
 			node.Tracer = telemetry.NewTracer(0)
@@ -64,6 +69,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("ocsd: frontend: %v", err)
 	}
+	frontend.StreamWindow = *streamWindow
 	if reg != nil {
 		frontend.Metrics = reg
 		frontend.Tracer = telemetry.NewTracer(0)

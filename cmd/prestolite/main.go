@@ -4,7 +4,8 @@
 //
 //	prestolite -catalog catalog.json -ocs <frontend-addr> [-objstore <addr>]
 //	           [-pushdown all|none|filter|...|auto] [-explain] [-profile]
-//	           [-meta-cache-tables 1024]
+//	           [-meta-cache-tables 1024] [-metrics-listen :9280]
+//	           [-max-queries N] [-queue N] [-memory-budget BYTES]
 //	           "SELECT ..."
 //
 // Without a query argument it reads statements from stdin, one per line.
@@ -12,6 +13,13 @@
 // statement: the engine-side span tree with stage timings (plan analysis,
 // Substrait generation, stream open, transfer wait, Arrow deserialize)
 // plus retry and fallback events.
+//
+// -metrics-listen serves /metrics, /debug/traces and /debug/queries (the
+// live process list). Two client modes act on a running prestolite's
+// debug port and exit:
+//
+//	prestolite -queries host:port        # list live + recent queries
+//	prestolite -kill q-3 -debug host:port
 package main
 
 import (
@@ -19,7 +27,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -42,8 +52,23 @@ func main() {
 	explain := flag.Bool("explain", false, "print the optimized plan before results")
 	profile := flag.Bool("profile", false, "print a per-query trace profile after each statement")
 	metaCacheTables := flag.Int("meta-cache-tables", cache.DefaultTableCacheEntries, "table-metadata cache entries per catalog (0 disables)")
+	metricsListen := flag.String("metrics-listen", "", "serve /metrics, /debug/traces and /debug/queries on this address")
+	maxQueries := flag.Int("max-queries", 0, "admission: max concurrently executing queries (0 = unlimited)")
+	maxQueued := flag.Int("queue", 0, "admission: max queries queued once saturated (0 = shed immediately)")
+	memBudget := flag.Int64("memory-budget", 0, "admission: total query-memory budget in bytes (0 = unlimited)")
+	queriesAt := flag.String("queries", "", "client mode: list queries at a running prestolite's debug address and exit")
+	killID := flag.String("kill", "", "client mode: kill the given query id at -debug and exit")
+	debugAddr := flag.String("debug", "localhost:9280", "debug address -kill targets")
 	flag.Parse()
 
+	if *queriesAt != "" {
+		debugGet(*queriesAt)
+		return
+	}
+	if *killID != "" {
+		debugKill(*debugAddr, *killID)
+		return
+	}
 	if *ocsAddr == "" {
 		log.Fatal("prestolite: -ocs is required")
 	}
@@ -54,8 +79,13 @@ func main() {
 
 	eng := engine.New()
 	eng.DefaultCatalog = "ocs"
+	eng.SetAdmission(engine.AdmissionConfig{
+		MaxConcurrent: *maxQueries,
+		MaxQueued:     *maxQueued,
+		MemoryBudget:  *memBudget,
+	})
 	var ocsOpts []ocsserver.Option
-	if *profile {
+	if *profile || *metricsListen != "" {
 		eng.Tracer = telemetry.NewTracer(0)
 		eng.Metrics = telemetry.NewRegistry()
 		ocsOpts = append(ocsOpts, ocsserver.WithMetrics(eng.Metrics))
@@ -66,7 +96,7 @@ func main() {
 	conn.SetTableCacheEntries(*metaCacheTables)
 	eng.AddConnector(conn)
 	eng.AddEventListener(conn.Monitor())
-	if *profile {
+	if *profile || *metricsListen != "" {
 		conn.Monitor().SetMetrics(eng.Metrics)
 		conn.SetMetrics(eng.Metrics)
 	}
@@ -75,10 +105,20 @@ func main() {
 		defer objCli.Close()
 		hiveConn := hive.New("hive", ms, objCli)
 		hiveConn.SetTableCacheEntries(*metaCacheTables)
-		if *profile {
+		if *profile || *metricsListen != "" {
 			hiveConn.SetMetrics(eng.Metrics)
 		}
 		eng.AddConnector(hiveConn)
+	}
+	if *metricsListen != "" {
+		tracers := map[string]*telemetry.Tracer{"engine": eng.Tracer}
+		bound, stop, err := telemetry.Serve(*metricsListen, eng.Metrics, tracers,
+			telemetry.Endpoint{Pattern: "/debug/queries", Handler: eng.Processes()})
+		if err != nil {
+			log.Fatalf("prestolite: -metrics-listen: %v", err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "prestolite: debug endpoints on http://%s (/metrics /debug/traces /debug/queries)\n", bound)
 	}
 
 	run := func(sql string) {
@@ -88,7 +128,12 @@ func main() {
 		}
 		session := engine.NewSession().Set(ocsconn.SessionPushdown, *pushdown)
 		start := time.Now()
-		res, err := eng.Execute(context.Background(), sql, session)
+		q, err := eng.Submit(context.Background(), sql, engine.WithSession(session))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		res, err := q.Result()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			return
@@ -119,6 +164,29 @@ func main() {
 			break
 		}
 		run(scanner.Text())
+	}
+}
+
+// debugGet prints a running prestolite's /debug/queries text listing.
+func debugGet(addr string) {
+	resp, err := http.Get("http://" + addr + "/debug/queries")
+	if err != nil {
+		log.Fatalf("prestolite: -queries: %v", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(os.Stdout, resp.Body)
+}
+
+// debugKill asks a running prestolite to cancel one query.
+func debugKill(addr, id string) {
+	resp, err := http.Post("http://"+addr+"/debug/queries?kill="+id, "", nil)
+	if err != nil {
+		log.Fatalf("prestolite: -kill: %v", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(os.Stdout, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		os.Exit(1)
 	}
 }
 

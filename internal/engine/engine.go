@@ -38,12 +38,26 @@ type Engine struct {
 	// nil (no-op).
 	Tracer  *telemetry.Tracer
 	Metrics *telemetry.Registry
+
+	// procs is the live-query registry and admission controller behind
+	// Submit; see processlist.go.
+	procs *ProcessList
 }
 
 // New returns an engine with no connectors.
 func New() *Engine {
-	return &Engine{connectors: make(map[string]Connector), Workers: runtime.GOMAXPROCS(0)}
+	e := &Engine{connectors: make(map[string]Connector), Workers: runtime.GOMAXPROCS(0)}
+	e.procs = newProcessList(e)
+	return e
 }
+
+// Processes exposes the live-query registry (for /debug/queries and
+// operational tooling).
+func (e *Engine) Processes() *ProcessList { return e.procs }
+
+// SetAdmission installs admission budgets; see AdmissionConfig. The
+// zero value (the default) admits everything immediately.
+func (e *Engine) SetAdmission(cfg AdmissionConfig) { e.procs.SetAdmission(cfg) }
 
 // AddConnector registers a connector under its catalog name.
 func (e *Engine) AddConnector(c Connector) {
@@ -85,19 +99,65 @@ type Result struct {
 	Stats  *QueryStats
 }
 
-// Execute runs one SQL query under the session (nil for defaults). The
-// context governs the whole query: cancelling it (or hitting its
+// Submit enqueues one SQL query and returns its handle. Admission
+// control (SetAdmission) may queue the query or shed it synchronously
+// with an error matching rpc.ErrOverloaded; an admitted query runs in
+// its own goroutine and the handle's Result blocks for the outcome.
+// The context governs the whole query: cancelling it (or hitting its
 // deadline) stops the leaf-stage workers, closes every open page source
-// and returns promptly with the context's error. The deadline also
-// propagates to storage RPCs issued by connectors.
-func (e *Engine) Execute(ctx context.Context, sql string, session *Session) (*Result, error) {
+// and finishes the query promptly with the context's error. The deadline
+// also propagates to storage RPCs issued by connectors.
+func (e *Engine) Submit(ctx context.Context, sql string, opts ...SubmitOption) (*Query, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if session == nil {
-		session = NewSession()
+	var o submitOpts
+	for _, f := range opts {
+		f(&o)
 	}
-	stats := &QueryStats{}
+	if o.session == nil {
+		o.session = NewSession()
+	}
+	q := &Query{
+		sql:      sql,
+		session:  o.session,
+		priority: o.priority,
+		memory:   o.memory,
+		eng:      e,
+		submit:   time.Now(),
+		stats:    &QueryStats{},
+		admitted: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	q.ctx, q.cancel = context.WithCancel(ctx)
+	if err := e.procs.admit(q); err != nil {
+		q.cancel()
+		return nil, err
+	}
+	go q.run()
+	return q, nil
+}
+
+// Execute runs one SQL query under the session (nil for defaults) and
+// blocks for its result.
+//
+// Deprecated: Execute is a thin shim over Submit for callers that do not
+// need the query handle; new code should use Submit, which adds
+// admission control, live status and kill.
+func (e *Engine) Execute(ctx context.Context, sql string, session *Session) (*Result, error) {
+	q, err := e.Submit(ctx, sql, WithSession(session))
+	if err != nil {
+		return nil, err
+	}
+	return q.Result()
+}
+
+// runQuery executes one admitted query end to end: parse, analyze,
+// optimize, connector optimization, then distributed execution. It is
+// the body behind the Query handle; q.ctx governs cancellation.
+func (e *Engine) runQuery(q *Query) (*Result, error) {
+	ctx, sql, session, stats := q.ctx, q.sql, q.session, q.stats
+	q.setState(StatePlanning)
 	startTotal := time.Now()
 
 	// Root query span: the ambient tracer, registry and span travel in
@@ -172,6 +232,7 @@ func (e *Engine) Execute(ctx context.Context, sql string, session *Session) (*Re
 		stats.UsedPushdown = len(stats.PushedDown) > 0
 	}
 	start = time.Now()
+	q.setState(StateRunning)
 	execCtx, execSpan := telemetry.StartSpan(ctx, "engine.execution")
 	page, schema, err := e.run(execCtx, optimized, scan, conn, stats)
 	execSpan.End()

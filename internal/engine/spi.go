@@ -63,6 +63,14 @@ func (s *ScanStats) AddBytesMoved(n int64) {
 	s.BytesMoved += n
 }
 
+// LiveCounters reads the rows and payload bytes received from storage so
+// far; the process list polls it to report progress on running queries.
+func (s *ScanStats) LiveCounters() (rows, bytesMoved int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ResultRows, s.BytesMoved
+}
+
 // AddStorageWork merges storage-side work.
 func (s *ScanStats) AddStorageWork(w objstore.WorkStats) {
 	s.mu.Lock()

@@ -55,6 +55,15 @@ type Config struct {
 	// and the pushdown monitor, so a query produces a single connected
 	// trace and every layer counts into the same /metrics series.
 	Telemetry bool
+	// Admission installs engine admission budgets (zero value keeps the
+	// engine fully permissive).
+	Admission engine.AdmissionConfig
+	// ScanPool sizes each storage node's scan-scheduler worker pool
+	// (0 = the cost-model storage-node core count).
+	ScanPool int
+	// StreamWindow sets the per-stream credit window on the OCS nodes
+	// and frontend (0 = rpc.DefaultStreamWindow, negative disables).
+	StreamWindow int
 }
 
 // StartCluster launches the topology with the given storage-node count.
@@ -71,6 +80,8 @@ func StartClusterWith(storageNodes int, cfg Config) (*Cluster, error) {
 		c.Metrics = telemetry.NewRegistry()
 		ocsCfg = ocsserver.ClusterConfig{Metrics: c.Metrics, Tracing: true}
 	}
+	ocsCfg.ScanPool = cfg.ScanPool
+	ocsCfg.StreamWindow = cfg.StreamWindow
 	ocsCluster, err := ocsserver.StartClusterWith(storageNodes, ocsCfg)
 	if err != nil {
 		return nil, err
@@ -93,6 +104,7 @@ func StartClusterWith(storageNodes int, cfg Config) (*Cluster, error) {
 
 	c.Engine = engine.New()
 	c.Engine.DefaultCatalog = CatalogOCS
+	c.Engine.SetAdmission(cfg.Admission)
 	c.OCSConn = ocsconn.New(CatalogOCS, c.Meta, c.OCSCli)
 	c.Engine.AddConnector(c.OCSConn)
 	hiveConn := hive.New(CatalogHive, c.Meta, c.ObjCli)

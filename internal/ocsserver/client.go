@@ -420,6 +420,12 @@ type ClusterConfig struct {
 	// Tracing gives every component its own tracer so a query's trace
 	// connects across the frontend and all storage nodes.
 	Tracing bool
+	// ScanPool sizes each node's scan-scheduler worker pool (0 = the
+	// cost-model storage-node core count).
+	ScanPool int
+	// StreamWindow sets the per-stream credit window on every node and
+	// the frontend (0 = rpc.DefaultStreamWindow, negative disables).
+	StreamWindow int
 }
 
 // StartCluster launches n storage nodes and a frontend on loopback.
@@ -435,6 +441,8 @@ func StartClusterWith(n int, cfg ClusterConfig) (*Cluster, error) {
 	for i := 0; i < n; i++ {
 		node := NewStorageNode(i)
 		node.Metrics = cfg.Metrics
+		node.ScanPool = cfg.ScanPool
+		node.StreamWindow = cfg.StreamWindow
 		if cfg.Tracing {
 			node.Tracer = telemetry.NewTracer(0)
 			c.Tracers[node.nodeLabel()] = node.Tracer
@@ -453,6 +461,7 @@ func StartClusterWith(n int, cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	front.Metrics = cfg.Metrics
+	front.StreamWindow = cfg.StreamWindow
 	if cfg.Tracing {
 		front.Tracer = telemetry.NewTracer(0)
 		c.Tracers["frontend"] = front.Tracer

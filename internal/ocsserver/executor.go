@@ -38,6 +38,13 @@ type execEnv struct {
 	scanPool int
 	closers  []func()
 
+	// sched is the fair-share scan scheduler this execution submits its
+	// row-group tasks to: the node's shared scheduler for RPC queries, or
+	// an ephemeral one owned by runEnv for in-process entry points.
+	sched *scanScheduler
+	// ownSched marks an ephemeral scheduler that runEnv must close.
+	ownSched bool
+
 	// noPrune disables statistics-driven row-group pruning; the
 	// differential property tests compare pruned runs against it.
 	noPrune bool
@@ -364,8 +371,17 @@ func executeLocalPool(store *objstore.Store, plan *substrait.Plan, pool int, noP
 	return runEnv(store, plan, env)
 }
 
-// runEnv compiles and drains a validated plan under a prepared env.
+// runEnv compiles and drains a validated plan under a prepared env. An
+// env with no scheduler (in-process entry points, which have no node to
+// share one with) gets an ephemeral one for the duration of the run.
 func runEnv(store *objstore.Store, plan *substrait.Plan, env *execEnv) ([]*column.Page, *objstore.WorkStats, error) {
+	if env.sched == nil {
+		env.sched = newScanScheduler() // vet-concurrency:allow in-process entry point; no node-wide scheduler exists to share
+		env.ownSched = true
+	}
+	if env.ownSched {
+		defer env.sched.close()
+	}
 	op, err := compilePlan(store, plan, env)
 	if err != nil {
 		env.close()

@@ -37,6 +37,13 @@ type Frontend struct {
 	// Retry governs node fan-out retries; set before Listen.
 	Retry retry.Policy
 
+	// StreamWindow bounds unacknowledged chunks per proxied stream toward
+	// the application (0 = rpc.DefaultStreamWindow, negative disables).
+	// With the node-side window this chains backpressure end-to-end: a
+	// slow application reader stalls the frontend, which stops crediting
+	// the node, which pauses the scan. Set before Listen.
+	StreamWindow int
+
 	// Metrics receives transport metrics for both the application-facing
 	// server and the node-facing clients; Tracer continues traces arriving
 	// in request headers. Both are optional and must be set before Listen.
@@ -69,6 +76,7 @@ func NewFrontend(nodeAddrs []string) (*Frontend, error) {
 func (f *Frontend) Listen(addr string) (string, error) {
 	f.rpc.Metrics = f.Metrics
 	f.rpc.Tracer = f.Tracer
+	f.rpc.StreamWindow = f.StreamWindow
 	for _, n := range f.nodes {
 		n.Metrics = f.Metrics
 	}

@@ -42,6 +42,12 @@ type StorageNode struct {
 	// Clients may override per query via the execute-request envelope.
 	// Set before the first query.
 	ChunkRows int
+	// StreamWindow bounds unacknowledged stream chunks per query (the
+	// credit window): a slow reader stalls the producer after this many
+	// chunks instead of buffering the scan in node memory. 0 selects
+	// rpc.DefaultStreamWindow, negative disables backpressure. Set
+	// before Listen.
+	StreamWindow int
 
 	// Metrics receives transport, chunk-throughput and scan-pool metrics;
 	// Tracer continues traces arriving in request headers, covering the
@@ -55,6 +61,12 @@ type StorageNode struct {
 	// first query to resize or disable. Listen binds its counters to
 	// Metrics under this node's label.
 	Caches *cache.Storage
+
+	// sched is the node-wide fair-share scan scheduler: one worker pool
+	// (sized by the first query's resolved ScanPool) round-robining
+	// row-group tasks across all active queries, so a heavy scan cannot
+	// starve small selective ones.
+	sched *scanScheduler
 
 	faultMu   sync.Mutex
 	execFault error
@@ -85,6 +97,7 @@ func NewStorageNode(id int) *StorageNode {
 		store:  objstore.NewStore(),
 		rpc:    rpc.NewServer(),
 		Caches: cache.NewStorage(cache.DefaultFooterCacheBytes, cache.DefaultPageCacheBytes),
+		sched:  newScanScheduler(), // vet-concurrency:allow the node-wide scheduler, shared by every query
 	}
 	n.rpc.RegisterStream(NodeMethodExecute, n.handleExecute)
 	n.rpc.Register(NodeMethodPut, n.handlePut)
@@ -100,6 +113,7 @@ func (n *StorageNode) Store() *objstore.Store { return n.store }
 func (n *StorageNode) Listen(addr string) (string, error) {
 	n.rpc.Metrics = n.Metrics
 	n.rpc.Tracer = n.Tracer
+	n.rpc.StreamWindow = n.StreamWindow
 	n.Caches.Instrument(n.Metrics, "node", n.nodeLabel())
 	return n.rpc.Listen(addr)
 }
@@ -107,8 +121,14 @@ func (n *StorageNode) Listen(addr string) (string, error) {
 // nodeLabel is the metric label value identifying this node.
 func (n *StorageNode) nodeLabel() string { return fmt.Sprintf("node%d", n.ID) }
 
-// Close shuts the node down.
-func (n *StorageNode) Close() error { return n.rpc.Close() }
+// Close shuts the node down: the RPC server first (draining in-flight
+// handlers, whose scan queues empty through the scheduler), then the
+// scan workers.
+func (n *StorageNode) Close() error {
+	err := n.rpc.Close()
+	n.sched.close()
+	return err
+}
 
 // handleExecute parses a Substrait plan, runs it locally and streams the
 // result: chunk 0 is an arrowlite schema message, every further chunk is
@@ -145,6 +165,7 @@ func (n *StorageNode) handleExecute(ctx context.Context, payload []byte, send fu
 	env := newExecEnv(n.ScanPool)
 	env.ctx = ctx
 	env.caches = n.Caches
+	env.sched = n.sched
 	defer env.close()
 	op, err := compilePlan(n.store, plan, env)
 	if err != nil {

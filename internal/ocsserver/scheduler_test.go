@@ -1,0 +1,149 @@
+package ocsserver
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"prestocs/internal/telemetry"
+)
+
+// TestSchedulerFairRoundRobin pins the fairness property: with one
+// worker and two queues, queued tasks execute alternately regardless of
+// which queue filled up first.
+func TestSchedulerFairRoundRobin(t *testing.T) {
+	s := newScanScheduler() // vet-concurrency:allow unit test constructs the scheduler directly
+	defer s.close()
+	reg := telemetry.NewRegistry()
+	g := reg.Gauge(telemetry.MetricScanSchedQueries)
+	qa := s.register(1, g)
+	qb := s.register(1, g)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("active-queries gauge = %d, want 2", got)
+	}
+
+	var mu sync.Mutex
+	var order []string
+	record := func(tag string) scanTask {
+		return scanTask{
+			run: func() {
+				mu.Lock()
+				order = append(order, tag)
+				mu.Unlock()
+			},
+			abort: func(error) {},
+		}
+	}
+	// Park the single worker on a blocker so every later submission is
+	// queued before anything runs; the pick order is then deterministic.
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	qa.submit(scanTask{run: func() { close(running); <-gate }, abort: func(error) {}})
+	<-running
+	for _, tag := range []string{"a1", "a2", "a3"} {
+		qa.submit(record(tag))
+	}
+	for _, tag := range []string{"b1", "b2"} {
+		qb.submit(record(tag))
+	}
+	close(gate)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(order)
+		mu.Unlock()
+		if n == 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of 5 tasks ran", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Round-robin from the blocker's queue: b1 a1 b2 a2 a3.
+	want := []string{"b1", "a1", "b2", "a2", "a3"}
+	for i, tag := range want {
+		if order[i] != tag {
+			t.Fatalf("execution order = %v, want %v (heavy queue A must not starve B)", order, want)
+		}
+	}
+	qa.close()
+	qb.close()
+	if got := g.Value(); got != 0 {
+		t.Errorf("active-queries gauge = %d after close, want 0", got)
+	}
+}
+
+// TestSchedulerQueueCloseDropsPendingWaitsInflight checks the two close
+// guarantees the scanner relies on: pending tasks never run after close,
+// and close blocks until in-flight tasks finish (their stats merges must
+// land before env.finish).
+func TestSchedulerQueueCloseDropsPendingWaitsInflight(t *testing.T) {
+	s := newScanScheduler() // vet-concurrency:allow unit test constructs the scheduler directly
+	defer s.close()
+	q := s.register(1, nil)
+
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	var ran, dropped int
+	var mu sync.Mutex
+	q.submit(scanTask{run: func() {
+		close(running)
+		<-gate
+		mu.Lock()
+		ran++
+		mu.Unlock()
+	}, abort: func(error) {}})
+	q.submit(scanTask{run: func() { mu.Lock(); ran++; mu.Unlock() }, abort: func(error) { mu.Lock(); dropped++; mu.Unlock() }})
+	<-running
+
+	closed := make(chan int)
+	go func() { closed <- q.close() }()
+	select {
+	case <-closed:
+		t.Fatal("queue close returned while a task was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate)
+	n := <-closed
+	mu.Lock()
+	defer mu.Unlock()
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1 (pending task must not run after close)", ran)
+	}
+	if n != 1 {
+		t.Errorf("close dropped %d tasks, want 1", n)
+	}
+	if q.submit(scanTask{run: func() {}, abort: func(error) {}}) {
+		t.Error("submit on a closed queue must report false")
+	}
+}
+
+// TestSchedulerCloseAbortsPending checks node shutdown: tasks still
+// queued when the scheduler closes are aborted (their slots settle with
+// an error) rather than silently dropped.
+func TestSchedulerCloseAbortsPending(t *testing.T) {
+	s := newScanScheduler() // vet-concurrency:allow unit test constructs the scheduler directly
+	q := s.register(1, nil)
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	q.submit(scanTask{run: func() { close(running); <-gate }, abort: func(error) {}})
+	errs := make(chan error, 1)
+	q.submit(scanTask{run: func() { errs <- nil }, abort: func(err error) { errs <- err }})
+	<-running
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(gate) // let the in-flight blocker finish so close can join workers
+	}()
+	s.close()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, errSchedulerClosed) {
+			t.Fatalf("pending task settled with %v, want errSchedulerClosed", err)
+		}
+	default:
+		t.Fatal("pending task neither ran nor aborted after scheduler close")
+	}
+}

@@ -27,6 +27,11 @@ const (
 	CodeCanceled
 	// CodeDeadlineExceeded propagates a context deadline expiry.
 	CodeDeadlineExceeded
+	// CodeOverloaded marks load shedding: an admission controller refused
+	// the request because the system is past its concurrency or memory
+	// budget. Retryable with backoff — the condition heals as queries
+	// drain.
+	CodeOverloaded
 
 	codeMax
 )
@@ -45,6 +50,8 @@ func (c Code) String() string {
 		return "canceled"
 	case CodeDeadlineExceeded:
 		return "deadline-exceeded"
+	case CodeOverloaded:
+		return "overloaded"
 	default:
 		return fmt.Sprintf("code(%d)", uint8(c))
 	}
@@ -57,6 +64,10 @@ var (
 	ErrInvalid     = errors.New("rpc: invalid request")
 	ErrNotFound    = errors.New("rpc: not found")
 	ErrUnavailable = errors.New("rpc: unavailable")
+	// ErrOverloaded is the stable admission-control rejection: the peer
+	// (or the local engine) shed the request past its concurrency or
+	// memory budget. Callers back off and retry, or surface the rejection.
+	ErrOverloaded = errors.New("rpc: overloaded")
 )
 
 // ErrFrameTooLarge marks a frame rejected on the send side for exceeding
@@ -85,6 +96,8 @@ func (c Code) sentinel() error {
 		return context.Canceled
 	case CodeDeadlineExceeded:
 		return context.DeadlineExceeded
+	case CodeOverloaded:
+		return ErrOverloaded
 	}
 	return nil
 }
@@ -142,6 +155,8 @@ func ErrorCode(err error) Code {
 		return CodeUnavailable
 	case errors.Is(err, ErrInvalid):
 		return CodeInvalid
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
 	}
 	return CodeUnknown
 }

@@ -44,11 +44,17 @@ import (
 )
 
 const (
-	frameRequest  = 0
-	frameOK       = 1
-	frameError    = 2
-	frameChunk    = 3
-	frameEnd      = 4
+	frameRequest = 0
+	frameOK      = 1
+	frameError   = 2
+	frameChunk   = 3
+	frameEnd     = 4
+	// frameCredit flows client -> server during a streaming call: one
+	// empty credit frame per chunk frame consumed. The server holds at
+	// most StreamWindow unacknowledged chunks in flight, so a slow Recv
+	// caller pauses the producer instead of ballooning socket buffers
+	// and storage-node memory.
+	frameCredit   = 5
 	maxFrameBytes = 1 << 30
 
 	// reqHeaderSize prefixes every request payload: u64 unix-micro
@@ -181,9 +187,20 @@ func readFrame(r io.Reader) (kind byte, method string, payload []byte, total int
 	return kind, method, payload, int64(4 + frameLen), nil
 }
 
+// DefaultStreamWindow is the per-stream chunk credit window when
+// Server.StreamWindow is zero: the producer keeps at most this many
+// chunks sent-but-unacknowledged before pausing.
+const DefaultStreamWindow = 8
+
 // Server dispatches incoming calls to registered handlers.
 type Server struct {
 	Meter Meter
+
+	// StreamWindow bounds the chunks a streaming handler may have in
+	// flight (sent but not yet credited by the client's Recv). Zero
+	// selects DefaultStreamWindow; negative disables flow control. Set
+	// before Listen.
+	StreamWindow int
 
 	// Metrics, when set, receives per-method server latency and byte
 	// counts. Set before Listen.
@@ -279,21 +296,68 @@ func (s *Server) requestContext(deadline time.Time) (context.Context, context.Ca
 	return context.WithCancel(s.baseCtx)
 }
 
+// streamWindow resolves the effective per-stream credit window.
+func (s *Server) streamWindow() int {
+	switch {
+	case s.StreamWindow > 0:
+		return s.StreamWindow
+	case s.StreamWindow < 0:
+		return 0 // flow control disabled
+	default:
+		return DefaultStreamWindow
+	}
+}
+
+// serveConn is the per-connection reader loop, and it owns every read on
+// conn. Unary calls are served inline (the protocol is sequential, so
+// nothing else arrives while a handler runs). A streaming call is served
+// in its own goroutine so this loop can keep reading the client's credit
+// frames and route them to the stream's flow-control window; the next
+// request is not dispatched until the active stream has fully finished.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	if !s.trackConn(conn, true) {
 		return // server already closed
 	}
 	defer s.trackConn(conn, false)
+	var cur *streamFlow
+	defer func() {
+		if cur != nil {
+			// The conn reader is going away (client gone or server
+			// closing): wake a producer blocked on the window and wait for
+			// the stream goroutine to let go of the conn.
+			cur.breakFlow()
+			<-cur.finished
+		}
+	}()
 	for {
 		kind, method, payload, n, err := readFrame(conn)
 		s.Meter.received.Add(n)
 		if err != nil {
 			return
 		}
+		if kind == frameCredit {
+			// One chunk consumed by the client's Recv. Credits for an
+			// already-finished stream (in flight when the terminal frame
+			// crossed them on the wire) are harmless no-ops.
+			if cur != nil {
+				cur.credit()
+			}
+			continue
+		}
 		s.Metrics.Counter(telemetry.MetricRPCServerRecvBytes, "method", method).Add(n)
 		if kind != frameRequest {
 			return
+		}
+		if cur != nil {
+			// The client's next request orders after our terminal frame on
+			// the wire, so this wait is immediate in practice.
+			<-cur.finished
+			usable := cur.usable
+			cur = nil
+			if !usable {
+				return
+			}
 		}
 		deadline, trace, parent, body, err := splitRequest(payload)
 		if err != nil {
@@ -313,13 +377,18 @@ func (s *Server) serveConn(conn net.Conn) {
 		sh, sok := s.streams[method]
 		s.mu.RUnlock()
 		if sok {
-			usable := s.serveStream(ctx, conn, sh, body, method)
-			cancel()
-			s.observe(method, start)
-			span.End()
-			if !usable {
-				return
-			}
+			flow := newStreamFlow(s.streamWindow(),
+				s.Metrics.Gauge(telemetry.MetricRPCStreamInflight),
+				s.Metrics.Counter(telemetry.MetricRPCStreamStalls))
+			cur = flow
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveStream(ctx, conn, sh, body, method, flow)
+				cancel()
+				s.observe(method, start)
+				span.End()
+			}()
 			continue
 		}
 		var respKind byte

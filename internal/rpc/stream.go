@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"prestocs/internal/telemetry"
@@ -32,13 +33,132 @@ func (s *Server) RegisterStream(method string, h StreamHandler) {
 	s.streams[method] = h
 }
 
-// serveStream runs one streaming call on conn. It reports whether the
-// connection is still usable for further calls (false once a write failed
-// mid-stream, since the client can no longer tell frames apart reliably).
-func (s *Server) serveStream(ctx context.Context, conn net.Conn, h StreamHandler, payload []byte, method string) bool {
+// streamFlow is the flow-control state shared between one streaming
+// call's producer goroutine and the per-connection reader that feeds it
+// credits. All conn writes for the stream happen in the producer; the
+// reader only routes credits in and, on conn death, breaks the flow.
+type streamFlow struct {
+	window   int // max unacked chunks in flight; 0 = unlimited
+	inflight *telemetry.Gauge
+	stalls   *telemetry.Counter
+
+	mu    sync.Mutex
+	sent  int64
+	acked int64
+	done  bool
+
+	notify   chan struct{} // cap 1, poked per credit
+	broken   chan struct{} // closed when the conn reader dies
+	breakOne sync.Once
+	finished chan struct{} // closed once the producer is done writing conn
+	usable   bool          // read after <-finished: conn good for more calls
+}
+
+func newStreamFlow(window int, inflight *telemetry.Gauge, stalls *telemetry.Counter) *streamFlow {
+	return &streamFlow{
+		window:   window,
+		inflight: inflight,
+		stalls:   stalls,
+		notify:   make(chan struct{}, 1),
+		broken:   make(chan struct{}),
+		finished: make(chan struct{}),
+	}
+}
+
+// credit acknowledges one chunk consumed by the client's Recv.
+func (f *streamFlow) credit() {
+	f.mu.Lock()
+	if f.done {
+		f.mu.Unlock()
+		return
+	}
+	f.acked++
+	f.inflight.Add(-1)
+	f.mu.Unlock()
+	select {
+	case f.notify <- struct{}{}:
+	default:
+	}
+}
+
+// noteSent records one chunk shipped to the client.
+func (f *streamFlow) noteSent() {
+	f.mu.Lock()
+	f.sent++
+	f.inflight.Add(1)
+	f.mu.Unlock()
+}
+
+// saturated reports whether the credit window is full.
+func (f *streamFlow) saturated() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sent-f.acked >= int64(f.window)
+}
+
+// errFlowBroken reports that the client connection died while the
+// producer was paused on the window; no terminal frame can land.
+var errFlowBroken = errors.New("rpc: stream flow broken: client connection lost")
+
+// wait blocks until the window has room, the context fires, or the conn
+// reader dies. A ctx error leaves the connection clean (nothing was
+// written); errFlowBroken means the conn is already dead.
+func (f *streamFlow) wait(ctx context.Context) error {
+	if f.window <= 0 {
+		return nil
+	}
+	stalled := false
+	for f.saturated() {
+		if !stalled {
+			stalled = true
+			f.stalls.Inc()
+		}
+		select {
+		case <-f.notify:
+		case <-f.broken:
+			return errFlowBroken
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// breakFlow marks the client connection dead, waking a blocked wait.
+func (f *streamFlow) breakFlow() {
+	f.breakOne.Do(func() { close(f.broken) })
+}
+
+// finish retires the flow: residual unacked chunks leave the inflight
+// gauge (their credits may never arrive) and late credits become no-ops.
+func (f *streamFlow) finish(usable bool) {
+	f.mu.Lock()
+	f.done = true
+	f.inflight.Add(-(f.sent - f.acked))
+	f.mu.Unlock()
+	f.usable = usable
+	close(f.finished)
+}
+
+// serveStream runs one streaming call's producer side. It always finishes
+// flow before returning; flow.usable reports whether the connection can
+// carry further calls (false once a write failed mid-stream, since the
+// client can no longer tell frames apart reliably). On an unusable conn
+// it also closes conn so the reader loop, which may be blocked in
+// readFrame, unwedges promptly.
+func (s *Server) serveStream(ctx context.Context, conn net.Conn, h StreamHandler, payload []byte, method string, flow *streamFlow) {
 	sendErr := false
 	sentBytes := s.Metrics.Counter(telemetry.MetricRPCServerSentBytes, "method", method)
 	send := func(chunk []byte) error {
+		// Backpressure point: with a full credit window the producer
+		// pauses here until the client's Recv catches up (or the stream
+		// dies), instead of buffering into the socket unboundedly.
+		if err := flow.wait(ctx); err != nil {
+			if errors.Is(err, errFlowBroken) {
+				sendErr = true
+			}
+			return err
+		}
 		n, err := writeFrame(conn, frameChunk, "", chunk)
 		s.Meter.sent.Add(n)
 		sentBytes.Add(n)
@@ -52,11 +172,14 @@ func (s *Server) serveStream(ctx context.Context, conn net.Conn, h StreamHandler
 			sendErr = true
 			return err
 		}
+		flow.noteSent()
 		return nil
 	}
 	trailer, herr := h(ctx, payload, send)
 	if sendErr {
-		return false
+		conn.Close()
+		flow.finish(false)
+		return
 	}
 	kind, resp := byte(frameEnd), trailer
 	if herr != nil {
@@ -65,11 +188,13 @@ func (s *Server) serveStream(ctx context.Context, conn net.Conn, h StreamHandler
 	n, err := writeFrame(conn, kind, "", resp)
 	s.Meter.sent.Add(n)
 	if err != nil {
-		return false
+		conn.Close()
+		flow.finish(false)
+		return
 	}
 	sentBytes.Add(n)
 	s.Meter.calls.Add(1)
-	return true
+	flow.finish(true)
 }
 
 // ClientStream is the receive side of a server-streaming call. Recv
@@ -205,6 +330,13 @@ func (st *ClientStream) Recv() ([]byte, error) {
 	st.gotAny = true
 	switch k {
 	case frameChunk:
+		// Flow-control credit: acknowledge the chunk only once it is in
+		// hand, which is what makes a slow Recv caller slow the producer.
+		// A failed credit write means the conn is dying; the chunk is
+		// still good and the next Recv surfaces the failure.
+		cn, _ := writeFrame(st.conn, frameCredit, "", nil)
+		st.c.Meter.sent.Add(cn)
+		st.c.Metrics.Counter(telemetry.MetricRPCClientSentBytes, "method", st.method).Add(cn)
 		return payload, nil
 	case frameEnd:
 		st.trailer = payload

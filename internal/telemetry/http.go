@@ -20,8 +20,15 @@ import (
 // tracers maps a component label ("frontend", "node0") to its tracer;
 // /debug/traces merges spans across all of them, so one query shows as
 // one connected trace even though each component records its own spans.
-func NewMux(reg *Registry, tracers map[string]*Tracer) *http.ServeMux {
+//
+// extras mount additional debug endpoints (e.g. the engine's
+// /debug/queries process list) without telemetry importing their
+// packages.
+func NewMux(reg *Registry, tracers map[string]*Tracer, extras ...Endpoint) *http.ServeMux {
 	mux := http.NewServeMux()
+	for _, e := range extras {
+		mux.Handle(e.Pattern, e.Handler)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		fmt.Fprint(w, reg.Render())
@@ -94,15 +101,21 @@ func rootOf(spans []SpanView) SpanView {
 	return best
 }
 
+// Endpoint is an extra debug handler mounted on the mux by pattern.
+type Endpoint struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Serve binds addr and serves the debug mux in a background goroutine,
 // returning the bound address and a shutdown func. Binaries pass
 // -metrics-listen through here.
-func Serve(addr string, reg *Registry, tracers map[string]*Tracer) (string, func() error, error) {
+func Serve(addr string, reg *Registry, tracers map[string]*Tracer, extras ...Endpoint) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: NewMux(reg, tracers)}
+	srv := &http.Server{Handler: NewMux(reg, tracers, extras...)}
 	go srv.Serve(ln)
 	return ln.Addr().String(), srv.Close, nil
 }

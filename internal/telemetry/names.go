@@ -26,6 +26,12 @@ const (
 	// RPC frame layer.
 	MetricRPCOversizeFrames = "rpc_oversize_frames_total"
 
+	// RPC stream flow control (chunk-level backpressure). Stalls counts
+	// the times a producer hit a full credit window and paused; inflight
+	// gauges the chunks sent but not yet credited across live streams.
+	MetricRPCStreamStalls   = "rpc_stream_window_stalls_total"
+	MetricRPCStreamInflight = "rpc_stream_inflight_chunks"
+
 	// RPC server (per-method labels: method).
 	MetricRPCServerLatency   = "rpc_server_latency_us"
 	MetricRPCServerSentBytes = "rpc_server_sent_bytes_total"
@@ -41,11 +47,25 @@ const (
 	MetricScanPoolActive    = "ocs_scan_pool_active_workers"
 	MetricScanPoolQueued    = "ocs_scan_pool_queued_groups"
 	MetricScanPoolRowGroups = "ocs_scan_rowgroups_total"
+	// MetricScanSchedQueries gauges the queries with a registered queue
+	// on the node-wide fair-share scan scheduler.
+	MetricScanSchedQueries = "ocs_scan_sched_active_queries"
 	// Zone-map pruning on the storage node: row groups skipped because
 	// footer stats proved the filter false, and the compressed bytes
 	// those groups would have read.
 	MetricScanRowGroupsPruned = "ocs_scan_rowgroups_pruned_total"
 	MetricScanBytesSkipped    = "ocs_scan_bytes_skipped_total"
+
+	// Engine admission control and the live-query process list.
+	// Queued gauges queries waiting for an admission slot; rejected
+	// counts synchronous sheds (ErrOverloaded); wait is the queue time of
+	// admitted queries; active gauges queries past admission and not yet
+	// done; memory gauges the sum of admitted queries' reservations.
+	MetricAdmissionQueued   = "engine_admission_queued_queries"
+	MetricAdmissionRejected = "engine_admission_rejected_total"
+	MetricAdmissionWait     = "engine_admission_wait_us"
+	MetricQueriesActive     = "engine_queries_active"
+	MetricQueryMemReserved  = "engine_query_memory_reserved_bytes"
 
 	// Engine query stage metrics (one observation per query).
 	MetricQueryTotal        = "engine_queries_total"
