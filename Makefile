@@ -1,13 +1,13 @@
 GO ?= go
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR8.json
 # COVER_MIN is the floor for `make cover` over the pruning-critical
 # packages (expr, parquetlite, ocsserver). Measured combined coverage is
 # ~84%; the floor leaves headroom for small refactors but fails the gate
 # if tests are deleted wholesale.
 COVER_MIN ?= 80.0
 
-.PHONY: build test bench bench-compare bench-paper faults check vet-vectorized \
-	vet-telemetry vet-pruning vet-cache vet-concurrency ci-fast ci-race ci cover
+.PHONY: build test bench bench-compare bench-gate bench-paper faults check vet-vectorized \
+	vet-telemetry vet-pruning vet-cache vet-concurrency vet-adaptive ci-fast ci-race ci cover
 
 build:
 	$(GO) build ./...
@@ -21,19 +21,33 @@ test:
 # the hot-page cache comparison (cold per-iteration decode vs a warmed
 # footer+page cache), the tracing-overhead comparison (telemetry disabled
 # vs enabled must stay within 3%) and the mixed-traffic latency profile
-# (small-query p50/p99 while heavy scans run), and archives the numbers
-# as $(BENCH_OUT); the human-readable table still prints on stderr. The
-# end-to-end paper sweeps live under bench-paper.
+# (small-query p50/p99 while heavy scans run), plus the adaptive-pushdown
+# selectivity × storage-load sweep (static always/never vs the adaptive
+# policy at both extremes), and archives the numbers as $(BENCH_OUT); the
+# human-readable table still prints on stderr. The end-to-end paper sweeps
+# live under bench-paper.
 bench:
 	{ $(GO) test -bench=. -benchmem -run '^$$' ./internal/exec/ ; \
 	  $(GO) test -bench='PruneSweep|HotCache' -benchmem -run '^$$' ./internal/ocsserver/ ; \
-	  $(GO) test -bench='TracingOverhead|MixedTraffic' -benchmem -run '^$$' ./internal/harness/ ; } \
+	  $(GO) test -bench='TracingOverhead|MixedTraffic|AdaptiveSweep' -benchmem -run '^$$' ./internal/harness/ ; } \
 		| $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 
 # bench-compare diffs two benchjson archives and fails on >20% ns/op
 # regressions: make bench-compare OLD=BENCH_PR5.json NEW=BENCH_PR6.json
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
+
+# bench-gate reruns the mixed-traffic latency benchmark and diffs its
+# small-query p50/p99 against the archived PR7 numbers: the adaptive
+# pushdown machinery sits on the per-split hot path, so this is the guard
+# that it did not tax interactive latency under load. The threshold is
+# generous (shared CI runners are noisy); the trend, not the percent, is
+# the signal.
+bench-gate:
+	$(GO) test -bench='MixedTraffic' -benchmem -run '^$$' ./internal/harness/ \
+		| $(GO) run ./cmd/benchjson > /tmp/bench-gate.json
+	$(GO) run ./cmd/benchjson -compare -metrics 'small-p50-ms,small-p99-ms' -threshold 60 \
+		BENCH_PR7.json /tmp/bench-gate.json
 
 # bench-paper regenerates the paper-evaluation benchmarks (full in-process
 # topology per iteration; slow).
@@ -46,7 +60,7 @@ bench-paper:
 # mixed-traffic load scenarios (starvation, slow readers, killed clients
 # mid-stream) (DESIGN.md §5b, §7).
 faults:
-	$(GO) test -race -count=2 -run 'Fault|Kill|Cancel|Retry|Fallback|Deadline|Blackhole|ComputeUnit|CacheInvalidation|Starvation|SlowClient|Backpressure|Overloaded' \
+	$(GO) test -race -count=2 -run 'Fault|Kill|Cancel|Retry|Fallback|Deadline|Blackhole|ComputeUnit|CacheInvalidation|Starvation|SlowClient|Backpressure|Overloaded|Flip' \
 		./internal/rpc/... ./internal/retry/... ./internal/faultnet/... \
 		./internal/ocsserver/... ./internal/harness/... ./internal/engine/...
 
@@ -148,10 +162,37 @@ vet-concurrency:
 	fi
 	@echo "vet-concurrency: scan work flows through the shared node-wide scheduler"
 
+# vet-adaptive guards the single-decision-point invariant (DESIGN.md §8):
+# every pushdown-vs-raw choice — static mode, plan-time advice, per-split
+# adaptive pricing, mid-stream flips — is made by the policy module. A
+# SplitDecision constructed anywhere else in the OCS connector, or a
+# revival of the old Monitor.AdvisePushdown entry point, is a second
+# decision path and fails the gate. `// vet-adaptive:allow <reason>`
+# annotates the rare legitimate exception.
+vet-adaptive:
+	@bad=$$(grep -n 'SplitDecision{' internal/connector/ocs/*.go 2>/dev/null \
+		| grep -v '_test.go' | grep -v 'policy.go' | grep -v 'vet-adaptive:allow'); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-adaptive: pushdown decision constructed outside the policy module"; \
+		echo "(route through ocs.Policy or annotate // vet-adaptive:allow <reason>):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@bad=$$(grep -rn '\.AdvisePushdown(' --include='*.go' --exclude='*_test.go' internal cmd 2>/dev/null \
+		| grep -v 'vet-adaptive:allow'); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-adaptive: Monitor.AdvisePushdown is retired; plan-time advice comes from"; \
+		echo "Policy.AdvisePlanPushdown (or annotate // vet-adaptive:allow <reason>):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@echo "vet-adaptive: all pushdown decisions flow through the policy module"
+
 # check is the verification gate: vet (plus the vectorized hot-path,
-# telemetry-manifest, pruning, caching and shared-scheduler guards) and
-# the full suite under the race detector (the streaming RPC and parallel
-# scanner are concurrency-heavy), then the fault-injection matrix.
+# telemetry-manifest, pruning, caching, shared-scheduler and
+# adaptive-decision guards) and the full suite under the race detector
+# (the streaming RPC and parallel scanner are concurrency-heavy), then
+# the fault-injection matrix.
 check:
 	$(GO) vet ./...
 	$(MAKE) vet-vectorized
@@ -159,6 +200,7 @@ check:
 	$(MAKE) vet-pruning
 	$(MAKE) vet-cache
 	$(MAKE) vet-concurrency
+	$(MAKE) vet-adaptive
 	$(GO) test -race ./...
 	$(MAKE) faults
 
@@ -180,6 +222,7 @@ ci-fast:
 	$(MAKE) vet-pruning
 	$(MAKE) vet-cache
 	$(MAKE) vet-concurrency
+	$(MAKE) vet-adaptive
 
 # ci-race is the CI race lane: the full suite under the race detector.
 ci-race:

@@ -6,11 +6,15 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./internal/exec/ | benchjson > BENCH.json
-//	benchjson -compare [-threshold 20] OLD.json NEW.json
+//	benchjson -compare [-threshold 20] [-metrics ns/op,small-p99-ms] OLD.json NEW.json
 //
-// Compare mode diffs two archives on ns/op, prints a delta table, reports
-// benchmarks present in only one archive, and exits 1 when any benchmark
-// regressed by more than -threshold percent.
+// Compare mode diffs two archives on the chosen metrics (default ns/op),
+// prints a delta table per metric, reports benchmarks present in only one
+// archive, and exits 1 when any benchmark regressed by more than
+// -threshold percent on any compared metric. Benchmarks that do not report
+// a requested metric are skipped for that metric, so custom units like the
+// mixed-traffic small-p50-ms/small-p99-ms latencies can gate CI without
+// dragging every other benchmark into the comparison.
 package main
 
 import (
@@ -35,7 +39,8 @@ type result struct {
 
 func main() {
 	compare := flag.Bool("compare", false, "diff two benchjson archives instead of converting bench output")
-	threshold := flag.Float64("threshold", 20, "ns/op regression percentage that fails compare mode")
+	threshold := flag.Float64("threshold", 20, "regression percentage that fails compare mode")
+	metrics := flag.String("metrics", "ns/op", "comma-separated metric keys to diff in compare mode")
 	flag.Parse()
 
 	if *compare {
@@ -43,7 +48,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two archives: OLD.json NEW.json")
 			os.Exit(2)
 		}
-		os.Exit(compareArchives(flag.Arg(0), flag.Arg(1), *threshold))
+		var keys []string
+		for _, m := range strings.Split(*metrics, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				keys = append(keys, m)
+			}
+		}
+		if len(keys) == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: -metrics must name at least one metric")
+			os.Exit(2)
+		}
+		os.Exit(compareArchives(flag.Arg(0), flag.Arg(1), *threshold, keys))
 	}
 	convert()
 }
@@ -96,9 +111,10 @@ func convert() {
 	}
 }
 
-// compareArchives diffs two archives on ns/op and returns the process exit
-// code: 0 when no benchmark regressed past threshold, 1 otherwise.
-func compareArchives(oldPath, newPath string, threshold float64) int {
+// compareArchives diffs two archives on the given metrics and returns the
+// process exit code: 0 when no benchmark regressed past threshold on any
+// metric, 1 otherwise.
+func compareArchives(oldPath, newPath string, threshold float64, metrics []string) int {
 	oldRes, err := loadArchive(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -129,29 +145,44 @@ func compareArchives(oldPath, newPath string, threshold float64) int {
 	sort.Strings(names)
 
 	regressions := 0
-	fmt.Printf("%-64s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
-	for _, k := range names {
-		nr := newBy[k]
-		or, ok := oldBy[k]
-		if !ok {
-			fmt.Printf("%-64s %14s %14.1f %9s\n", nr.Name, "-", nr.Metrics["ns/op"], "new")
-			continue
+	for _, metric := range metrics {
+		fmt.Printf("%-64s %14s %14s %9s\n", "benchmark", "old "+metric, "new "+metric, "delta")
+		for _, k := range names {
+			nr := newBy[k]
+			newVal, hasNew := nr.Metrics[metric]
+			if !hasNew {
+				continue
+			}
+			or, ok := oldBy[k]
+			if !ok {
+				fmt.Printf("%-64s %14s %14.1f %9s\n", nr.Name, "-", newVal, "new")
+				continue
+			}
+			oldVal, hasOld := or.Metrics[metric]
+			if !hasOld || oldVal == 0 {
+				continue
+			}
+			delta := (newVal - oldVal) / oldVal * 100
+			mark := ""
+			if delta > threshold {
+				mark = "  REGRESSION"
+				regressions++
+			}
+			fmt.Printf("%-64s %14.1f %14.1f %+8.1f%%%s\n", nr.Name, oldVal, newVal, delta, mark)
 		}
-		oldNs, newNs := or.Metrics["ns/op"], nr.Metrics["ns/op"]
-		if oldNs == 0 {
-			continue
-		}
-		delta := (newNs - oldNs) / oldNs * 100
-		mark := ""
-		if delta > threshold {
-			mark = "  REGRESSION"
-			regressions++
-		}
-		fmt.Printf("%-64s %14.1f %14.1f %+8.1f%%%s\n", nr.Name, oldNs, newNs, delta, mark)
 	}
+	// Report disappeared benchmarks, but only those that carried one of
+	// the compared metrics — a subset rerun (e.g. the MixedTraffic-only
+	// bench-gate lane) should not list the whole old archive as removed.
 	for k, or := range oldBy {
-		if _, ok := newBy[k]; !ok {
-			fmt.Printf("%-64s %14.1f %14s %9s\n", or.Name, or.Metrics["ns/op"], "-", "removed")
+		if _, ok := newBy[k]; ok {
+			continue
+		}
+		for _, metric := range metrics {
+			if v, ok := or.Metrics[metric]; ok {
+				fmt.Printf("%-64s %14.1f %14s %9s\n", or.Name, v, "-", "removed")
+				break
+			}
 		}
 	}
 	if regressions > 0 {

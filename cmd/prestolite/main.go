@@ -3,7 +3,7 @@
 // object store (hive catalog), using the catalog JSON datagen wrote.
 //
 //	prestolite -catalog catalog.json -ocs <frontend-addr> [-objstore <addr>]
-//	           [-pushdown all|none|filter|...|auto] [-explain] [-profile]
+//	           [-pushdown always|never|filter|...|auto] [-explain] [-profile]
 //	           [-meta-cache-tables 1024] [-metrics-listen :9280]
 //	           [-max-queries N] [-queue N] [-memory-budget BYTES]
 //	           "SELECT ..."
@@ -48,7 +48,7 @@ func main() {
 	catalogPath := flag.String("catalog", "catalog.json", "catalog JSON written by datagen")
 	ocsAddr := flag.String("ocs", "", "OCS frontend address (required)")
 	objAddr := flag.String("objstore", "", "plain object store address (optional, enables hive catalog)")
-	pushdown := flag.String("pushdown", "all", "ocs pushdown mode (none, filter, ..., all, auto)")
+	pushdown := flag.String("pushdown", "all", "ocs pushdown mode: always/all, never/none, filter, ..., or auto (per-split adaptive: selectivity history + storage-load feedback decide pushdown vs raw per split)")
 	explain := flag.Bool("explain", false, "print the optimized plan before results")
 	profile := flag.Bool("profile", false, "print a per-query trace profile after each statement")
 	metaCacheTables := flag.Int("meta-cache-tables", cache.DefaultTableCacheEntries, "table-metadata cache entries per catalog (0 disables)")

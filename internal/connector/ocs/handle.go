@@ -39,6 +39,13 @@ const (
 	// SessionComplexityCap is the maximum expression cost (expr.Cost
 	// units) "auto" will push for projections. Default 25.
 	SessionComplexityCap = "ocs.complexity_cap"
+	// SessionAdaptiveLoadCutoff is the storage-backlog EWMA at or above
+	// which auto mode considers flipping an in-flight pushdown stream to
+	// the local resume path. Default 4.
+	SessionAdaptiveLoadCutoff = "ocs.adaptive.load_cutoff"
+	// SessionAdaptiveFlipMargin is how many times cheaper the raw path
+	// must price before auto mode flips mid-stream. Default 1.5.
+	SessionAdaptiveFlipMargin = "ocs.adaptive.flip_margin"
 )
 
 // Mode is a parsed pushdown configuration.
@@ -53,9 +60,9 @@ type Mode struct {
 // ParseMode interprets the SessionPushdown property.
 func ParseMode(s string) (Mode, error) {
 	switch s {
-	case "", "all":
+	case "", "all", "always":
 		return Mode{Filter: true, Project: true, Agg: true, TopN: true}, nil
-	case "none":
+	case "none", "never":
 		return Mode{}, nil
 	case "filter":
 		return Mode{Filter: true}, nil
@@ -115,6 +122,11 @@ type Pushdown struct {
 	// node returns at most Limit rows and the engine's residual Limit
 	// truncates the union — always sound. -1 when absent.
 	Limit int64
+	// EstSelectivity is the Selectivity Analyzer's plan-time estimate of
+	// the fraction of scanned rows the pushed pipeline keeps (0 when the
+	// planner produced no estimate). The adaptive policy uses it as the
+	// pricing prior until runtime history accumulates for the shape.
+	EstSelectivity float64
 }
 
 // Operators lists the pushed operator kinds in order.
@@ -153,12 +165,26 @@ func (p *Pushdown) Empty() bool { return len(p.Operators()) == 0 }
 // skipping rows already delivered.
 func (p *Pushdown) OrderDeterministic() bool { return p.Agg == nil && p.TopN == nil }
 
+// AdaptiveParams are the auto-mode knobs for mid-stream repricing,
+// parsed from session properties by the optimizer. A nil AdaptiveParams
+// on a handle means the pushdown choice is static for the query.
+type AdaptiveParams struct {
+	// LoadCutoff is the storage-backlog EWMA below which flips are not
+	// considered.
+	LoadCutoff float64
+	// FlipMargin is the raw-vs-pushdown price ratio required to flip.
+	FlipMargin float64
+}
+
 // Handle is the OCS connector's table handle: table metadata, column
 // projection and the pushdown spec.
 type Handle struct {
 	Table      *metastore.Table
 	Projection []int // base-schema ordinals; nil = all
 	Push       *Pushdown
+	// Adaptive is set (auto mode only) when the per-split policy may
+	// override the planned pushdown and flip mid-stream.
+	Adaptive *AdaptiveParams
 }
 
 // ConnectorName implements plan.TableHandle.
@@ -223,7 +249,7 @@ func aggSchema(in *types.Schema, a *AggSpec) *types.Schema {
 
 // WithProjection implements plan.ProjectableHandle.
 func (h *Handle) WithProjection(cols []int) plan.TableHandle {
-	return &Handle{Table: h.Table, Projection: cols, Push: h.Push}
+	return &Handle{Table: h.Table, Projection: cols, Push: h.Push, Adaptive: h.Adaptive}
 }
 
 // PushedOperators implements engine.PushdownReporter.

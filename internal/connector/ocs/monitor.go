@@ -39,6 +39,10 @@ type Monitor struct {
 	total   int64
 	success int64
 	metrics *telemetry.Registry
+	// policy, when set, receives each completion so the adaptive pushdown
+	// policy's plan-time advice (AdvisePlanPushdown) tracks the same
+	// events the window does.
+	policy *Policy
 }
 
 // NewMonitor creates a monitor keeping the last size records.
@@ -75,7 +79,6 @@ func (m *Monitor) QueryCompleted(ev engine.QueryEvent) {
 		rec.Duration = ev.Stats.Total
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.window[m.next] = rec
 	m.next = (m.next + 1) % m.size
 	if m.next == 0 {
@@ -86,12 +89,17 @@ func (m *Monitor) QueryCompleted(ev engine.QueryEvent) {
 		m.success++
 	}
 	reg := m.metrics
+	policy := m.policy
+	m.mu.Unlock()
 	reg.Counter(telemetry.MetricMonitorQueries).Inc()
 	if rec.Succeeded {
 		reg.Counter(telemetry.MetricMonitorSuccesses).Inc()
 	}
 	reg.Counter(telemetry.MetricMonitorFallbacks).Add(rec.Fallbacks)
 	reg.Counter(telemetry.MetricMonitorSplitsPruned).Add(rec.SplitsPruned)
+	if policy != nil {
+		policy.queryCompleted(rec.Succeeded)
+	}
 }
 
 // Window returns the records currently retained, oldest first.
@@ -122,18 +130,6 @@ func (m *Monitor) Total() int64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.total
-}
-
-// AdvisePushdown is the history feedback loop (the paper's "collected
-// metrics ... inform future optimization decisions", simple version):
-// once enough queries have run, a low success rate of pushdown-enabled
-// executions advises the auto mode to fall back to plain scans until
-// reliability recovers.
-func (m *Monitor) AdvisePushdown() bool {
-	if m.Total() < 4 {
-		return true
-	}
-	return m.SuccessRate() >= 0.5
 }
 
 // AvgBytesMoved averages data movement over the retained window for

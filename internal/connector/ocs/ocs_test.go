@@ -364,8 +364,8 @@ func TestAutoFallsBackAfterFailures(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		conn.Monitor().QueryCompleted(engine.QueryEvent{Err: fmt.Errorf("storage fault %d", i)})
 	}
-	if conn.Monitor().AdvisePushdown() {
-		t.Fatal("monitor should advise against pushdown")
+	if conn.Policy().AdvisePlanPushdown() {
+		t.Fatal("policy should advise against pushdown")
 	}
 	res, err := e.Execute(context.Background(), laghosQuery, session("auto"))
 	if err != nil {

@@ -30,8 +30,10 @@ func (o *localOptimizer) Optimize(root plan.Node, session *engine.Session) (plan
 	}
 	// History feedback: when recent pushdown executions have mostly been
 	// failing (e.g. a flaky storage node), auto mode falls back to plain
-	// scans rather than keep routing work into a broken path.
-	if mode.Auto && o.conn != nil && o.conn.monitor != nil && !o.conn.monitor.AdvisePushdown() {
+	// scans rather than keep routing work into a broken path. This is the
+	// plan-time half of the adaptive policy; the per-split half runs at
+	// schedule time through Connector.DecideSplit.
+	if mode.Auto && o.conn != nil && o.conn.policy != nil && !o.conn.policy.AdvisePlanPushdown() {
 		return root, nil
 	}
 	chain, err := flatten(root)
@@ -119,6 +121,7 @@ structWalk:
 		rows := float64(handle.Table.RowCount)
 		est := rows
 		best := -1
+		bestEst := rows
 		for idx, cand := range seq {
 			node := chain[cand.index]
 			switch cand.kind {
@@ -141,9 +144,13 @@ structWalk:
 			}
 			if rows > 0 && 1-est/rows >= analyzer.threshold {
 				best = idx
+				bestEst = est
 			}
 		}
 		prefix = best + 1
+		if prefix > 0 && rows > 0 {
+			push.EstSelectivity = bestEst / rows
+		}
 	} else {
 		for _, cand := range seq {
 			ok := (cand.kind == "filter" && mode.Filter) ||
@@ -237,6 +244,9 @@ structWalk:
 	}
 
 	newHandle := &Handle{Table: handle.Table, Projection: handle.Projection, Push: push}
+	if mode.Auto {
+		newHandle.Adaptive = adaptiveParams(session)
+	}
 	kept = append(kept, &plan.TableScan{Catalog: scan.Catalog, Table: scan.Table, Handle: newHandle})
 	return rebuild(kept)
 }
@@ -384,6 +394,22 @@ func newSelectivityAnalyzer(table *metastore.Table, session *engine.Session) *se
 		}
 	}
 	return a
+}
+
+// adaptiveParams reads the auto-mode repricing knobs from the session.
+func adaptiveParams(session *engine.Session) *AdaptiveParams {
+	p := &AdaptiveParams{LoadCutoff: DefaultLoadCutoff, FlipMargin: DefaultFlipMargin}
+	if v := session.Get(SessionAdaptiveLoadCutoff); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f >= 0 {
+			p.LoadCutoff = f
+		}
+	}
+	if v := session.Get(SessionAdaptiveFlipMargin); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f >= 1 {
+			p.FlipMargin = f
+		}
+	}
+	return p
 }
 
 // EstimateFilterSelectivity returns the estimated fraction of rows a

@@ -8,6 +8,7 @@ import (
 
 	"prestocs/internal/cache"
 	"prestocs/internal/column"
+	"prestocs/internal/costmodel"
 	"prestocs/internal/engine"
 	"prestocs/internal/exec"
 	"prestocs/internal/expr"
@@ -29,6 +30,7 @@ type Connector struct {
 	tables  *cache.TableCache
 	client  *ocsserver.Client
 	monitor *Monitor
+	policy  *Policy
 }
 
 // New creates a connector bound to a metastore and an OCS frontend.
@@ -36,13 +38,16 @@ type Connector struct {
 // through a versioned cache sized at cache.DefaultTableCacheEntries;
 // resize with SetTableCacheEntries.
 func New(catalog string, meta *metastore.Metastore, client *ocsserver.Client) *Connector {
-	return &Connector{
+	c := &Connector{
 		catalog: catalog,
 		meta:    meta,
 		tables:  cache.NewTableCache(meta, cache.DefaultTableCacheEntries),
 		client:  client,
 		monitor: NewMonitor(64),
+		policy:  NewPolicy(costmodel.Default()),
 	}
+	c.monitor.policy = c.policy
+	return c
 }
 
 // Name implements engine.Connector.
@@ -52,16 +57,21 @@ func (c *Connector) Name() string { return c.catalog }
 // engine via AddEventListener).
 func (c *Connector) Monitor() *Monitor { return c.monitor }
 
+// Policy returns the connector's adaptive pushdown policy.
+func (c *Connector) Policy() *Policy { return c.policy }
+
 // SetTableCacheEntries resizes the table-metadata cache (0 disables
 // caching). Call before serving queries.
 func (c *Connector) SetTableCacheEntries(n int) {
 	c.tables = cache.NewTableCache(c.meta, n)
 }
 
-// SetMetrics binds the table-metadata cache counters to a registry; call
-// before serving queries.
+// SetMetrics binds the table-metadata cache counters and the adaptive
+// policy's decision/flip/load series to a registry; call before serving
+// queries.
 func (c *Connector) SetMetrics(reg *telemetry.Registry) {
 	c.tables.Instrument(reg, "catalog", c.catalog)
+	c.policy.SetMetrics(reg)
 }
 
 // TableHandle implements engine.Connector; lookups go through the
@@ -109,7 +119,30 @@ func (c *Connector) CreatePageSource(ctx context.Context, handle plan.TableHandl
 	if h.Push == nil || h.Push.Empty() {
 		return c.rawSource(ctx, h, split, stats)
 	}
+	return c.pushdownSource(ctx, h, split, stats)
+}
 
+// CreatePageSourceDecided implements engine.AdaptiveConnector: it opens
+// the split on the path DecideSplit selected. A raw decision on a
+// pushdown handle runs the pushed operators locally over a whole-object
+// GET (the replay path), so the residual plan sees the same schema
+// either way.
+func (c *Connector) CreatePageSourceDecided(ctx context.Context, handle plan.TableHandle, split engine.Split, dec engine.SplitDecision, stats *engine.ScanStats) (exec.Operator, error) {
+	h, ok := handle.(*Handle)
+	if !ok {
+		return nil, fmt.Errorf("ocs: foreign handle %T", handle)
+	}
+	if h.Push == nil || h.Push.Empty() {
+		return c.rawSource(ctx, h, split, stats)
+	}
+	if !dec.Pushdown {
+		return c.adaptiveRawSource(ctx, h, split, stats)
+	}
+	return c.pushdownSource(ctx, h, split, stats)
+}
+
+// pushdownSource opens the in-storage execution path for one split.
+func (c *Connector) pushdownSource(ctx context.Context, h *Handle, split engine.Split, stats *engine.ScanStats) (exec.Operator, error) {
 	// The scan span covers this split's whole pushdown lifetime; its
 	// children are the Table-3 stages (Substrait generation, stream open)
 	// and its accumulated durations the per-chunk transfer waits and
@@ -201,6 +234,22 @@ func (s *streamSource) Next() (*column.Page, error) {
 	if s.done {
 		return nil, nil
 	}
+	// Adaptive mid-stream flip: with storage saturated and the delivered
+	// rows already pricing the pushdown out, abandon the stream and resume
+	// on the local replay path (order-deterministic pipelines only; the
+	// replay skips the rows already delivered). The replay is built before
+	// the stream is released so a replay failure just keeps streaming.
+	if s.rowsDelivered > 0 && s.conn.policy.ShouldFlip(s.h, s.rowsDelivered) {
+		if fb, err := s.conn.adaptiveReplaySource(s.ctx, s.h, s.split, s.stats, s.rowsDelivered); err == nil {
+			s.rs.Close()
+			s.done = true
+			s.fb = fb
+			s.stats.AddAdaptiveFlip()
+			s.conn.policy.noteFlip()
+			s.span.Event("adaptive-flip", fmt.Sprintf("after %d rows", s.rowsDelivered))
+			return s.fb.Next()
+		}
+	}
 	start := time.Now()
 	page, err := s.rs.Next()
 	stats := s.stats
@@ -214,9 +263,13 @@ func (s *streamSource) Next() (*column.Page, error) {
 	s.span.AddDuration("transfer_wait", wall-decode)
 	s.span.AddDuration("arrow_deserialize", decode)
 	s.accountBytes()
+	// Every frame carries the node's scan backlog: feed the policy's
+	// storage-load estimate.
+	s.conn.policy.ObserveLoad(s.rs.Load())
 	if err == io.EOF {
 		s.done = true
 		stats.AddStorageWork(s.rs.Stats())
+		s.conn.policy.ObserveSplit(s.h, s.rowsDelivered)
 		s.span.End()
 		return nil, nil
 	}
@@ -269,6 +322,7 @@ func (s *streamSource) tryFallback(cause error) (exec.Operator, bool) {
 		s.span.End()
 		return nil, false // surface the original stream error instead
 	}
+	s.conn.policy.ObserveFallback(s.h)
 	return fb, true
 }
 
@@ -359,18 +413,41 @@ func (c *Connector) rawSource(ctx context.Context, h *Handle, split engine.Split
 }
 
 // fallbackSource is the graceful-degradation path: pushdown execution
-// failed after retries, so the connector fetches the whole object (the
-// GET path is served even when a node's computational unit is down) and
-// replays the pushed operators locally with the storage node's own
-// compiler (ocsserver.ExecuteLocalPool), producing bit-identical pages.
-// skipRows drops rows the dead stream already delivered; callers only
-// pass a nonzero skip when the pushed pipeline is order-deterministic.
-// The degradation is recorded in the scan stats so the overhead
-// breakdown still adds up: the full object counts as bytes moved, and
-// the local replay's CPU is charged as compute-side deserialize work.
+// failed after retries, so the connector replays the pushed operators
+// locally over a whole-object GET. The degradation is recorded in the
+// scan stats so the overhead breakdown still adds up.
 func (c *Connector) fallbackSource(ctx context.Context, h *Handle, split engine.Split, stats *engine.ScanStats, skipRows int64) (exec.Operator, error) {
+	return c.localReplaySource(ctx, h, split, stats, skipRows, "connector.fallback_scan", true)
+}
+
+// adaptiveRawSource serves a split the adaptive policy priced off the
+// pushdown path at schedule time: same local replay, but not a failure —
+// no fallback is recorded.
+func (c *Connector) adaptiveRawSource(ctx context.Context, h *Handle, split engine.Split, stats *engine.ScanStats) (exec.Operator, error) {
+	return c.localReplaySource(ctx, h, split, stats, 0, "connector.adaptive_raw_scan", false)
+}
+
+// adaptiveReplaySource resumes a split mid-stream after an adaptive
+// flip, skipping the rows the abandoned stream already delivered.
+func (c *Connector) adaptiveReplaySource(ctx context.Context, h *Handle, split engine.Split, stats *engine.ScanStats, skipRows int64) (exec.Operator, error) {
+	return c.localReplaySource(ctx, h, split, stats, skipRows, "connector.adaptive_raw_scan", false)
+}
+
+// localReplaySource is the shared raw-with-pushdown path: the connector
+// fetches the whole object (the GET path is served even when a node's
+// computational unit is down) and replays the pushed operators locally
+// with the storage node's own compiler (ocsserver.ExecuteLocalStream),
+// producing bit-identical pages. The replay streams — the residual plan
+// pulls pages as the local scan produces them, the same overlap the raw
+// no-pushdown path gets, instead of materializing the whole split before
+// the first page. skipRows drops rows a dead or abandoned stream already
+// delivered; callers only pass a nonzero skip when the pushed pipeline
+// is order-deterministic. The full object counts as bytes moved, and the
+// local replay's CPU is charged as compute-side deserialize work;
+// markFallback additionally records the split as a pushdown failure.
+func (c *Connector) localReplaySource(ctx context.Context, h *Handle, split engine.Split, stats *engine.ScanStats, skipRows int64, spanName string, markFallback bool) (exec.Operator, error) {
 	start := time.Now()
-	ctx, sp := telemetry.StartSpan(ctx, "connector.fallback_scan")
+	ctx, sp := telemetry.StartSpan(ctx, spanName)
 	defer sp.End()
 	sp.SetAttr("object", split.Object)
 	data, work, err := c.client.Get(ctx, h.Table.Bucket, split.Object)
@@ -380,7 +457,9 @@ func (c *Connector) fallbackSource(ctx context.Context, h *Handle, split engine.
 	stats.AddTransfer(time.Since(start))
 	stats.AddBytesMoved(int64(len(data)))
 	stats.AddStorageWork(work)
-	stats.AddFallback()
+	if markFallback {
+		stats.AddFallback()
+	}
 
 	irPlan, err := BuildSubstrait(h, split.Object)
 	if err != nil {
@@ -388,37 +467,84 @@ func (c *Connector) fallbackSource(ctx context.Context, h *Handle, split engine.
 	}
 	local := objstore.NewStore()
 	local.Put(h.Table.Bucket, split.Object, data)
-	pages, localWork, err := ocsserver.ExecuteLocalPool(local, irPlan, 0)
+	ls, err := ocsserver.ExecuteLocalStream(local, irPlan, 0)
 	if err != nil {
 		return nil, fmt.Errorf("ocs: fallback scan %s/%s: %w", h.Table.Bucket, split.Object, err)
 	}
-	// The replay runs on engine cores, not in storage: charge its CPU as
-	// compute-side work.
-	stats.AddDeserialize(localWork.CPUUnits, 0)
+	return &replayStream{
+		schema: h.ScanSchema(), ls: ls, conn: c, h: h,
+		stats: stats, skipRows: skipRows, object: split.Object,
+	}, nil
+}
 
-	schema := h.ScanSchema()
-	idx := 0
-	return exec.NewFuncSource(schema, func() (*column.Page, error) {
-		for idx < len(pages) {
-			page := pages[idx]
-			idx++
-			rows := int64(page.NumRows())
-			if skipRows >= rows {
-				skipRows -= rows
-				continue
-			}
-			if skipRows > 0 {
-				page = page.Slice(int(skipRows), page.NumRows())
-				skipRows = 0
-			}
-			if page.NumCols() != schema.Len() {
-				return nil, fmt.Errorf("ocs: fallback result has %d columns, scan schema %s", page.NumCols(), schema)
-			}
-			stats.AddDeserialize(0, int64(page.NumRows()))
-			return &column.Page{Schema: schema, Vectors: page.Vectors}, nil
+// replayStream adapts a lazily-drained local execution to the page-source
+// contract: per-page skip accounting for mid-stream resume, schema
+// normalization, and the end-of-stream bookkeeping the eager path did up
+// front — replay CPU charged as compute-side work and the split's full
+// output fed to the policy as a selectivity observation (only on a
+// complete drain; an abandoned replay has not seen the whole split).
+type replayStream struct {
+	schema   *types.Schema
+	ls       *ocsserver.LocalStream
+	conn     *Connector
+	h        *Handle
+	stats    *engine.ScanStats
+	object   string
+	skipRows int64
+	rows     int64
+	finished bool
+}
+
+func (r *replayStream) Schema() *types.Schema { return r.schema }
+
+func (r *replayStream) Next() (*column.Page, error) {
+	for {
+		page, err := r.ls.Next()
+		if err != nil {
+			r.finish(false)
+			return nil, fmt.Errorf("ocs: fallback scan %s: %w", r.object, err)
 		}
-		return nil, nil
-	}), nil
+		if page == nil {
+			r.finish(true)
+			return nil, nil
+		}
+		rows := int64(page.NumRows())
+		r.rows += rows
+		if r.skipRows >= rows {
+			r.skipRows -= rows
+			continue
+		}
+		if r.skipRows > 0 {
+			page = page.Slice(int(r.skipRows), page.NumRows())
+			r.skipRows = 0
+		}
+		if page.NumCols() != r.schema.Len() {
+			r.finish(false)
+			return nil, fmt.Errorf("ocs: fallback result has %d columns, scan schema %s", page.NumCols(), r.schema)
+		}
+		r.stats.AddDeserialize(0, int64(page.NumRows()))
+		return &column.Page{Schema: r.schema, Vectors: page.Vectors}, nil
+	}
+}
+
+// Close releases the local execution when the pipeline stops early.
+func (r *replayStream) Close() error {
+	r.finish(false)
+	return nil
+}
+
+func (r *replayStream) finish(complete bool) {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	r.ls.Close()
+	// The replay ran on engine cores, not in storage: charge its CPU as
+	// compute-side work.
+	r.stats.AddDeserialize(r.ls.Work().CPUUnits, 0)
+	if complete {
+		r.conn.policy.ObserveSplit(r.h, r.rows)
+	}
 }
 
 // BuildSubstrait reconstructs the handle's pushdown spec as a Substrait

@@ -321,7 +321,16 @@ func (e *Engine) run(ctx context.Context, root plan.Node, scan *plan.TableScan, 
 			// sources that hold external resources (e.g. an open OCS
 			// result stream) even when the pipeline stops early.
 			runSplit := func(split Split) bool {
-				source, err := conn.CreatePageSource(ctx, scan.Handle, split, &stats.Scan)
+				// Adaptive connectors price pushdown vs raw scan per split
+				// at schedule time; the engine just routes the decision.
+				var source exec.Operator
+				var err error
+				if ac, ok := conn.(AdaptiveConnector); ok {
+					dec := ac.DecideSplit(scan.Handle, split, &stats.Scan)
+					source, err = ac.CreatePageSourceDecided(ctx, scan.Handle, split, dec, &stats.Scan)
+				} else {
+					source, err = conn.CreatePageSource(ctx, scan.Handle, split, &stats.Scan)
+				}
 				if err != nil {
 					fail(err)
 					return false

@@ -54,6 +54,14 @@ type ScanStats struct {
 	// metastore's per-object statistics proved the pushed-down filter
 	// false for the whole object (zone-map split pruning).
 	SplitsPruned int64
+	// PushdownSplits and RawSplits count per-split scheduling decisions
+	// made by an adaptive connector (AdaptiveConnector.DecideSplit).
+	PushdownSplits int64
+	RawSplits      int64
+	// AdaptiveFlips counts splits that started pushed down and switched
+	// mid-stream to the local resume path because the adaptive policy
+	// repriced them against live selectivity and storage load.
+	AdaptiveFlips int64
 }
 
 // AddBytesMoved records network payload bytes.
@@ -114,6 +122,24 @@ func (s *ScanStats) AddSplitsPruned(n int64) {
 	s.SplitsPruned += n
 }
 
+// AddSplitDecision records one adaptive per-split choice.
+func (s *ScanStats) AddSplitDecision(pushdown bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if pushdown {
+		s.PushdownSplits++
+	} else {
+		s.RawSplits++
+	}
+}
+
+// AddAdaptiveFlip records one mid-stream pushdown→raw switch.
+func (s *ScanStats) AddAdaptiveFlip() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.AdaptiveFlips++
+}
+
 // Snapshot returns a copy for reporting.
 func (s *ScanStats) Snapshot() ScanStats {
 	s.mu.Lock()
@@ -127,6 +153,9 @@ func (s *ScanStats) Snapshot() ScanStats {
 		ResultRows:       s.ResultRows,
 		FallbackSplits:   s.FallbackSplits,
 		SplitsPruned:     s.SplitsPruned,
+		PushdownSplits:   s.PushdownSplits,
+		RawSplits:        s.RawSplits,
+		AdaptiveFlips:    s.AdaptiveFlips,
 	}
 }
 
@@ -184,6 +213,30 @@ type SplitSource interface {
 	// splits whose object statistics prove the handle's pushed-down
 	// filter false, and records the count via stats.AddSplitsPruned.
 	SplitsWithStats(handle plan.TableHandle, stats *ScanStats) ([]Split, error)
+}
+
+// SplitDecision is an adaptive connector's verdict for one split.
+type SplitDecision struct {
+	// Pushdown selects in-storage execution; false selects the raw
+	// object scan with local evaluation.
+	Pushdown bool
+	// Reason is a short human-readable label for traces and debugging
+	// ("history", "load", "prior", ...).
+	Reason string
+}
+
+// AdaptiveConnector is an optional Connector extension: connectors that
+// price pushdown vs raw scan per split at schedule time implement it,
+// and the engine routes split scheduling through it so every decision is
+// made (and counted) in one place. DecideSplit must be cheap — it runs
+// once per split on the worker goroutines.
+type AdaptiveConnector interface {
+	// DecideSplit prices one split against observed selectivity history
+	// and live storage load.
+	DecideSplit(handle plan.TableHandle, split Split, stats *ScanStats) SplitDecision
+	// CreatePageSourceDecided opens the split on the path the decision
+	// selected. Contract matches CreatePageSource otherwise.
+	CreatePageSourceDecided(ctx context.Context, handle plan.TableHandle, split Split, dec SplitDecision, stats *ScanStats) (exec.Operator, error)
 }
 
 // QueryStats is the engine's per-query report; the harness and Table 3

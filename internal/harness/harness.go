@@ -40,6 +40,10 @@ type Cluster struct {
 	OCSConn *ocsconn.Connector
 	Params  costmodel.Params
 
+	// Pushdown is the default ocs.pushdown mode applied by RunCtx (from
+	// Config.Pushdown; empty = leave sessions untouched).
+	Pushdown string
+
 	// Metrics is the shared registry every layer writes into, and Tracers
 	// maps component labels ("engine", "frontend", "node0", ...) to their
 	// tracers. Both are nil unless the cluster was started with
@@ -64,6 +68,10 @@ type Config struct {
 	// StreamWindow sets the per-stream credit window on the OCS nodes
 	// and frontend (0 = rpc.DefaultStreamWindow, negative disables).
 	StreamWindow int
+	// Pushdown, when non-empty, is the default ocs.pushdown session mode
+	// RunCtx applies to sessions that don't set one: "always", "never",
+	// "auto", or any other ParseMode value.
+	Pushdown string
 }
 
 // StartCluster launches the topology with the given storage-node count.
@@ -73,7 +81,12 @@ func StartCluster(storageNodes int) (*Cluster, error) {
 
 // StartClusterWith is StartCluster with feature configuration.
 func StartClusterWith(storageNodes int, cfg Config) (*Cluster, error) {
-	c := &Cluster{Meta: metastore.New(), Params: costmodel.Default()}
+	if cfg.Pushdown != "" {
+		if _, err := ocsconn.ParseMode(cfg.Pushdown); err != nil {
+			return nil, err
+		}
+	}
+	c := &Cluster{Meta: metastore.New(), Params: costmodel.Default(), Pushdown: cfg.Pushdown}
 
 	var ocsCfg ocsserver.ClusterConfig
 	if cfg.Telemetry {
@@ -197,6 +210,12 @@ func (c *Cluster) Run(label, query string, session *engine.Session) (*Cell, erro
 // inherit footers or pages a previous cell decoded. Tests that exercise
 // warm-cache behavior call Engine.Execute directly.
 func (c *Cluster) RunCtx(ctx context.Context, label, query string, session *engine.Session) (*Cell, error) {
+	if session == nil {
+		session = engine.NewSession()
+	}
+	if c.Pushdown != "" && session.Get(ocsconn.SessionPushdown) == "" {
+		session.Set(ocsconn.SessionPushdown, c.Pushdown)
+	}
 	c.FlushNodeCaches()
 	start := time.Now()
 	res, err := c.Engine.Execute(ctx, query, session)

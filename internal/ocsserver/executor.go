@@ -247,7 +247,15 @@ func compileRead(store *objstore.Store, read *substrait.ReadRel, pruneWith expr.
 		}
 	}
 
-	if env.scanPool > 1 && len(groups) > 1 {
+	// Multi-group scans on a node's shared scheduler always go through it —
+	// even at ScanPool=1, where there is no intra-scan parallelism, the
+	// scheduler is what round-robins concurrent queries fairly and what the
+	// node's storage-load signal (scheduler backlog) is sampled from; an
+	// inline scan would be invisible to both. An env that owns an ephemeral
+	// scheduler (in-process entry points, the connector's replay paths) has
+	// neither concern, so it only pays the per-task handoff when it buys
+	// real parallelism.
+	if env.sched != nil && len(groups) > 1 && (!env.ownSched || env.scanPool > 1) {
 		return parallelScan(env, data, r.Meta(), objKey, groups, cols, twoTouch, outSchema), nil
 	}
 
@@ -356,6 +364,78 @@ func ExecuteLocalCached(store *objstore.Store, plan *substrait.Plan, pool int, c
 	env := newExecEnv(pool)
 	env.caches = caches
 	return runEnv(store, plan, env)
+}
+
+// LocalStream is a lazily-drained ExecuteLocal: the compiled pipeline is
+// pulled page by page instead of materialized up front, so a consumer —
+// the connector's local replay path — overlaps residual execution with
+// the scan exactly like the raw no-pushdown path does. The final nil
+// page (or Close, when the consumer abandons the stream) tears down the
+// scan workers and the ephemeral scheduler; Work is valid after either.
+type LocalStream struct {
+	op   exec.Operator
+	env  *execEnv
+	done bool
+	work *objstore.WorkStats
+}
+
+// ExecuteLocalStream compiles a plan against a local store and returns
+// the result stream. Like ExecuteLocalPool it runs fully uncached — the
+// connector's replay paths depend on this to bypass (never corrupt) node
+// caches they have no view of. pool <= 0 selects the cost-model default.
+func ExecuteLocalStream(store *objstore.Store, plan *substrait.Plan, pool int) (*LocalStream, error) {
+	if _, err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	env := newExecEnv(pool)
+	env.sched = newScanScheduler() // vet-concurrency:allow in-process entry point; no node-wide scheduler exists to share
+	env.ownSched = true
+	s := &LocalStream{env: env}
+	op, err := compilePlan(store, plan, env)
+	if err != nil {
+		s.teardown()
+		return nil, err
+	}
+	s.op = op
+	return s, nil
+}
+
+// Schema implements exec.Operator.
+func (s *LocalStream) Schema() *types.Schema { return s.op.Schema() }
+
+// Next implements exec.Operator; exhaustion and errors release the
+// execution's workers.
+func (s *LocalStream) Next() (*column.Page, error) {
+	if s.done {
+		return nil, nil
+	}
+	page, err := s.op.Next()
+	if err != nil || page == nil {
+		s.teardown()
+		return nil, err
+	}
+	return page, nil
+}
+
+// Close releases the execution when the consumer abandons the stream
+// mid-way (the engine's optional page-source cleanup hook). Idempotent.
+func (s *LocalStream) Close() error {
+	s.teardown()
+	return nil
+}
+
+// Work returns the execution's accumulated storage-work stats; call only
+// after the stream is exhausted or closed.
+func (s *LocalStream) Work() *objstore.WorkStats { return s.work }
+
+func (s *LocalStream) teardown() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.env.close()
+	s.env.sched.close()
+	s.work = s.env.finish()
 }
 
 // executeLocalPool is the shared implementation; noPrune disables

@@ -150,6 +150,9 @@ func (f *Frontend) handleExecute(ctx context.Context, payload []byte, send func(
 		for {
 			chunk, err := st.Recv()
 			if err == io.EOF {
+				// Pass the node's final load word through so the end frame
+				// toward the application carries it too.
+				rpc.SetStreamLoad(ctx, st.Load())
 				trailer = st.Trailer()
 				return nil
 			}
@@ -161,6 +164,9 @@ func (f *Frontend) handleExecute(ctx context.Context, payload []byte, send func(
 				}
 				return err
 			}
+			// Relay the node's load word onto the outgoing chunk: the
+			// frontend is a pure proxy for the storage-load signal.
+			rpc.SetStreamLoad(ctx, st.Load())
 			if err := send(chunk); err != nil {
 				// Our own downstream died; nothing to retry.
 				return retry.Permanent(err)

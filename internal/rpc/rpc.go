@@ -14,7 +14,11 @@
 // with a fixed header — u64 deadline (unix microseconds, 0 = none), u64
 // trace ID and u64 parent span ID (0 = no trace) — that the server turns
 // into the handler's context deadline and trace context; the caller's
-// payload follows. Responses echo an empty method name. A unary call is one
+// payload follows. Chunk and end payloads begin with a u32 server-load
+// hint (published by the handler via SetStreamLoad, surfaced by
+// ClientStream.Load) followed by the chunk bytes or stream trailer, so
+// load feedback piggybacks on data frames instead of costing extra
+// round trips. Responses echo an empty method name. A unary call is one
 // request frame answered by one ok/error frame; a streaming call is one
 // request frame answered by any number of chunk frames terminated by an
 // end frame — or by an error frame, which is valid mid-stream and aborts
@@ -117,6 +121,34 @@ func writeFrame(w io.Writer, kind byte, method string, payload []byte) (int64, e
 	hdr = append(hdr, kind)
 	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(method)))
 	hdr = append(hdr, method...)
+	n, err := w.Write(hdr)
+	if err != nil {
+		return int64(n), err
+	}
+	pn, err := w.Write(payload)
+	if err != nil {
+		return int64(n + pn), err
+	}
+	return int64(4 + frameLen), nil
+}
+
+// streamLoadSize prefixes every chunk and end frame payload: a u32
+// server-load hint the client surfaces via ClientStream.Load.
+const streamLoadSize = 4
+
+// writeStreamFrame ships one chunk or end frame, prefixing the payload
+// with the u32 load hint without copying the payload (the prefix rides
+// in the header buffer; method is always empty on response frames).
+func writeStreamFrame(w io.Writer, kind byte, load uint32, payload []byte) (int64, error) {
+	frameLen := 1 + 4 + streamLoadSize + len(payload)
+	if uint64(frameLen) > uint64(maxFrameLimit.Load()) {
+		return 0, oversizeError(frameLen)
+	}
+	hdr := make([]byte, 0, 9+streamLoadSize)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(frameLen))
+	hdr = append(hdr, kind)
+	hdr = binary.LittleEndian.AppendUint32(hdr, 0) // empty method
+	hdr = binary.LittleEndian.AppendUint32(hdr, load)
 	n, err := w.Write(hdr)
 	if err != nil {
 		return int64(n), err
@@ -381,6 +413,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				s.Metrics.Gauge(telemetry.MetricRPCStreamInflight),
 				s.Metrics.Counter(telemetry.MetricRPCStreamStalls))
 			cur = flow
+			ctx = withStreamLoad(ctx, &flow.load)
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()

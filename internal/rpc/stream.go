@@ -2,11 +2,13 @@ package rpc
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prestocs/internal/telemetry"
@@ -41,6 +43,11 @@ type streamFlow struct {
 	window   int // max unacked chunks in flight; 0 = unlimited
 	inflight *telemetry.Gauge
 	stalls   *telemetry.Counter
+
+	// load is the server-load hint stamped onto every outgoing chunk and
+	// end frame. The streaming handler updates it through SetStreamLoad;
+	// the producer reads it at frame-write time.
+	load atomic.Uint32
 
 	mu    sync.Mutex
 	sent  int64
@@ -140,6 +147,24 @@ func (f *streamFlow) finish(usable bool) {
 	close(f.finished)
 }
 
+// streamLoadKey carries the active stream's load word through the
+// handler context.
+type streamLoadKey struct{}
+
+func withStreamLoad(ctx context.Context, load *atomic.Uint32) context.Context {
+	return context.WithValue(ctx, streamLoadKey{}, load)
+}
+
+// SetStreamLoad publishes a server-load hint on the current streaming
+// call: the value is stamped into every subsequent chunk frame and the
+// end frame, so the client observes server-side backlog with zero extra
+// round trips or frames. Outside a streaming handler it is a no-op.
+func SetStreamLoad(ctx context.Context, load uint32) {
+	if w, ok := ctx.Value(streamLoadKey{}).(*atomic.Uint32); ok {
+		w.Store(load)
+	}
+}
+
 // serveStream runs one streaming call's producer side. It always finishes
 // flow before returning; flow.usable reports whether the connection can
 // carry further calls (false once a write failed mid-stream, since the
@@ -159,7 +184,7 @@ func (s *Server) serveStream(ctx context.Context, conn net.Conn, h StreamHandler
 			}
 			return err
 		}
-		n, err := writeFrame(conn, frameChunk, "", chunk)
+		n, err := writeStreamFrame(conn, frameChunk, flow.load.Load(), chunk)
 		s.Meter.sent.Add(n)
 		sentBytes.Add(n)
 		if err != nil {
@@ -181,11 +206,13 @@ func (s *Server) serveStream(ctx context.Context, conn net.Conn, h StreamHandler
 		flow.finish(false)
 		return
 	}
-	kind, resp := byte(frameEnd), trailer
+	var n int64
+	var err error
 	if herr != nil {
-		kind, resp = frameError, errorPayload(herr)
+		n, err = writeFrame(conn, frameError, "", errorPayload(herr))
+	} else {
+		n, err = writeStreamFrame(conn, frameEnd, flow.load.Load(), trailer)
 	}
-	n, err := writeFrame(conn, kind, "", resp)
 	s.Meter.sent.Add(n)
 	if err != nil {
 		conn.Close()
@@ -214,6 +241,7 @@ type ClientStream struct {
 	pooled   bool // conn came from the idle pool
 	redialed bool // the one redial budget is spent
 	gotAny   bool // at least one response frame arrived
+	load     uint32
 	done     bool
 	err      error
 }
@@ -330,6 +358,12 @@ func (st *ClientStream) Recv() ([]byte, error) {
 	st.gotAny = true
 	switch k {
 	case frameChunk:
+		if len(payload) < streamLoadSize {
+			st.fail(fmt.Errorf("rpc: chunk frame missing load prefix in %s stream", st.method))
+			return nil, st.err
+		}
+		st.load = binary.LittleEndian.Uint32(payload[:streamLoadSize])
+		payload = payload[streamLoadSize:]
 		// Flow-control credit: acknowledge the chunk only once it is in
 		// hand, which is what makes a slow Recv caller slow the producer.
 		// A failed credit write means the conn is dying; the chunk is
@@ -339,6 +373,12 @@ func (st *ClientStream) Recv() ([]byte, error) {
 		st.c.Metrics.Counter(telemetry.MetricRPCClientSentBytes, "method", st.method).Add(cn)
 		return payload, nil
 	case frameEnd:
+		if len(payload) < streamLoadSize {
+			st.fail(fmt.Errorf("rpc: end frame missing load prefix in %s stream", st.method))
+			return nil, st.err
+		}
+		st.load = binary.LittleEndian.Uint32(payload[:streamLoadSize])
+		payload = payload[streamLoadSize:]
 		st.trailer = payload
 		st.done = true
 		st.c.Meter.calls.Add(1)
@@ -379,6 +419,12 @@ func (st *ClientStream) fail(err error) {
 // Trailer returns the end-frame payload. Valid only after Recv returned
 // io.EOF.
 func (st *ClientStream) Trailer() []byte { return st.trailer }
+
+// Load returns the server-load hint carried by the most recent chunk or
+// end frame (zero before the first frame arrives). Servers publish it
+// with SetStreamLoad; it piggybacks on data frames, so it is as fresh as
+// the stream is active.
+func (st *ClientStream) Load() uint32 { return st.load }
 
 // TryDrain attempts to consume the remainder of the stream within the
 // given budget so the trailer (and its stats) are not lost on early

@@ -55,6 +55,11 @@ const (
 	// those groups would have read.
 	MetricScanRowGroupsPruned = "ocs_scan_rowgroups_pruned_total"
 	MetricScanBytesSkipped    = "ocs_scan_bytes_skipped_total"
+	// MetricNodeSchedBacklog gauges the node-wide scan backlog (queued +
+	// in-flight row-group tasks across all queries) sampled when stream
+	// frames leave the node; the same value rides the frames as the
+	// storage-load signal for adaptive pushdown.
+	MetricNodeSchedBacklog = "ocs_node_sched_backlog"
 
 	// Engine admission control and the live-query process list.
 	// Queued gauges queries waiting for an admission slot; rejected
@@ -86,6 +91,17 @@ const (
 	MetricMonitorSuccesses    = "ocs_monitor_successes_total"
 	MetricMonitorFallbacks    = "ocs_monitor_fallback_splits_total"
 	MetricMonitorSplitsPruned = "ocs_monitor_splits_pruned_total"
+
+	// Adaptive pushdown policy (connector side). Decisions counts per-split
+	// choices (labels: choice=pushdown|raw); flips counts mid-stream
+	// switches from pushdown to the local resume path; the shape histogram
+	// tracks observed per-(table, predicate-shape) selectivity in percent
+	// (labels: shape); the load gauge mirrors the most recent storage
+	// backlog word observed on stream frames.
+	MetricPushdownDecisions        = "ocs_pushdown_decisions_total"
+	MetricPushdownFlips            = "ocs_pushdown_flips_total"
+	MetricPushdownShapeSelectivity = "ocs_pushdown_shape_selectivity_pct"
+	MetricStorageLoad              = "ocs_storage_load_backlog"
 
 	// Engine-side table-metadata cache (labels: catalog). Hit ratios are
 	// lifetime percentages (0-100).
