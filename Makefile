@@ -1,5 +1,5 @@
 GO ?= go
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 # COVER_MIN is the floor for `make cover` over the pruning-critical
 # packages (expr, parquetlite, ocsserver). Measured combined coverage is
 # ~84%; the floor leaves headroom for small refactors but fails the gate
@@ -7,7 +7,7 @@ BENCH_OUT ?= BENCH_PR8.json
 COVER_MIN ?= 80.0
 
 .PHONY: build test bench bench-compare bench-gate bench-paper faults check vet-vectorized \
-	vet-telemetry vet-pruning vet-cache vet-concurrency vet-adaptive ci-fast ci-race ci cover
+	vet-telemetry vet-pruning vet-cache vet-concurrency vet-adaptive vet-join ci-fast ci-race ci cover
 
 build:
 	$(GO) build ./...
@@ -23,13 +23,15 @@ test:
 # vs enabled must stay within 3%) and the mixed-traffic latency profile
 # (small-query p50/p99 while heavy scans run), plus the adaptive-pushdown
 # selectivity × storage-load sweep (static always/never vs the adaptive
-# policy at both extremes), and archives the numbers as $(BENCH_OUT); the
+# policy at both extremes) and the join bloom-pushdown sweep (Q3-shaped
+# lineitem ⋈ orders with the probe-side bloom on vs off; the on arm must
+# move fewer storage rows), and archives the numbers as $(BENCH_OUT); the
 # human-readable table still prints on stderr. The end-to-end paper sweeps
 # live under bench-paper.
 bench:
 	{ $(GO) test -bench=. -benchmem -run '^$$' ./internal/exec/ ; \
 	  $(GO) test -bench='PruneSweep|HotCache' -benchmem -run '^$$' ./internal/ocsserver/ ; \
-	  $(GO) test -bench='TracingOverhead|MixedTraffic|AdaptiveSweep' -benchmem -run '^$$' ./internal/harness/ ; } \
+	  $(GO) test -bench='TracingOverhead|MixedTraffic|AdaptiveSweep|JoinBloomSweep' -benchmem -run '^$$' ./internal/harness/ ; } \
 		| $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 
 # bench-compare diffs two benchjson archives and fails on >20% ns/op
@@ -188,11 +190,27 @@ vet-adaptive:
 	fi
 	@echo "vet-adaptive: all pushdown decisions flow through the policy module"
 
+# vet-join guards the vectorized join hot path: the hash-join probe, the
+# engine-side bloom probe and the bloom membership kernels must stay
+# columnar — gather-list construction and vector batch tests, never a
+# per-row Value/Row accessor loop. A call site that genuinely needs a
+# scalar accessor takes an explicit `// vet-join:allow <reason>`.
+vet-join:
+	@bad=$$(grep -n '\.Row(\|\.Value(' internal/exec/join.go internal/exec/bloomprobe.go internal/bloom/*.go 2>/dev/null \
+		| grep -v '_test.go' | grep -v 'vet-join:allow'); \
+	if [ -n "$$bad" ]; then \
+		echo "vet-join: per-row accessor loop in the join/bloom hot path"; \
+		echo "(build gather lists over vectors or annotate // vet-join:allow <reason>):"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+	@echo "vet-join: join probe and bloom kernels are columnar"
+
 # check is the verification gate: vet (plus the vectorized hot-path,
-# telemetry-manifest, pruning, caching, shared-scheduler and
-# adaptive-decision guards) and the full suite under the race detector
-# (the streaming RPC and parallel scanner are concurrency-heavy), then
-# the fault-injection matrix.
+# telemetry-manifest, pruning, caching, shared-scheduler,
+# adaptive-decision and join hot-path guards) and the full suite under
+# the race detector (the streaming RPC and parallel scanner are
+# concurrency-heavy), then the fault-injection matrix.
 check:
 	$(GO) vet ./...
 	$(MAKE) vet-vectorized
@@ -201,6 +219,7 @@ check:
 	$(MAKE) vet-cache
 	$(MAKE) vet-concurrency
 	$(MAKE) vet-adaptive
+	$(MAKE) vet-join
 	$(GO) test -race ./...
 	$(MAKE) faults
 
@@ -223,6 +242,7 @@ ci-fast:
 	$(MAKE) vet-cache
 	$(MAKE) vet-concurrency
 	$(MAKE) vet-adaptive
+	$(MAKE) vet-join
 
 # ci-race is the CI race lane: the full suite under the race detector.
 ci-race:

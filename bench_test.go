@@ -158,7 +158,7 @@ func BenchmarkTable3Breakdown(b *testing.B) {
 
 // BenchmarkAblationResultFormat compares Arrow (OCS) against CSV (S3
 // Select-like) result transfer for the same filter-only pushdown — the
-// design choice DESIGN.md §9 calls out.
+// design choice DESIGN.md §11 calls out.
 func BenchmarkAblationResultFormat(b *testing.B) {
 	c, d := benchCluster(b, benchDeepWater(compress.None))
 	b.Run("arrow", func(b *testing.B) { runCell(b, c, d, "filter") })

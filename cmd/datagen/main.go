@@ -2,7 +2,7 @@
 // running ocsd (and optionally objstored) deployment, writing the catalog
 // JSON that prestolite consumes.
 //
-//	datagen -dataset laghos|deepwater|tpch|all -ocs <frontend-addr>
+//	datagen -dataset laghos|deepwater|tpch|orders|all -ocs <frontend-addr>
 //	        [-objstore <addr>] [-files N] [-rows N] [-codec none|snappy|gzip|zstd]
 //	        [-catalog catalog.json] [-seed 42]
 package main
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	dataset := flag.String("dataset", "all", "laghos, deepwater, tpch or all")
+	dataset := flag.String("dataset", "all", "laghos, deepwater, tpch, orders or all")
 	ocsAddr := flag.String("ocs", "", "OCS frontend address (required)")
 	objAddr := flag.String("objstore", "", "plain object store address (optional)")
 	files := flag.Int("files", 0, "files per dataset (0 = dataset default)")
@@ -40,12 +40,15 @@ func main() {
 	}
 	cfg := workload.Config{Files: *files, RowsPerFile: *rows, Codec: codec, Seed: *seed}
 
+	// "orders" shares the tpch scale/seed so orderkeys align 1:1 with
+	// lineitem and the Q3-shaped join has matches.
 	gens := map[string]func(workload.Config) (*workload.Dataset, error){
 		"laghos":    workload.Laghos,
 		"deepwater": workload.DeepWater,
 		"tpch":      workload.TPCH,
+		"orders":    workload.TPCHOrders,
 	}
-	names := []string{"laghos", "deepwater", "tpch"}
+	names := []string{"laghos", "deepwater", "tpch", "orders"}
 	if *dataset != "all" {
 		if _, ok := gens[*dataset]; !ok {
 			log.Fatalf("datagen: unknown dataset %q", *dataset)

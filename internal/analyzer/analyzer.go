@@ -36,31 +36,62 @@ type Resolver interface {
 // Analyze builds a logical plan for the statement. defaultCatalog is used
 // for unqualified table names.
 func Analyze(stmt *sqlparser.SelectStmt, resolver Resolver, defaultCatalog string) (plan.Node, error) {
-	catalog := stmt.From.Schema
-	if catalog == "" {
-		catalog = defaultCatalog
+	if len(stmt.Joins) > 1 {
+		return nil, fmt.Errorf("analyzer: at most one JOIN per query is supported")
 	}
-	handle, err := resolver.ResolveTable(catalog, stmt.From.Table)
+	a := &analysis{stmt: stmt}
+
+	resolveRef := func(ref sqlparser.TableRef) (string, *plan.TableScan, error) {
+		catalog := ref.Name.Schema
+		if catalog == "" {
+			catalog = defaultCatalog
+		}
+		handle, err := resolver.ResolveTable(catalog, ref.Name.Table)
+		if err != nil {
+			return "", nil, err
+		}
+		return catalog, &plan.TableScan{Catalog: catalog, Table: ref.Name.Table, Handle: handle}, nil
+	}
+
+	_, leftScan, err := resolveRef(stmt.From)
 	if err != nil {
 		return nil, err
 	}
-	a := &analysis{
-		stmt:       stmt,
-		baseSchema: handle.ScanSchema(),
-	}
-	root := plan.Node(&plan.TableScan{Catalog: catalog, Table: stmt.From.Table, Handle: handle})
+	a.scopes = append(a.scopes, scope{
+		alias:  stmt.From.Alias,
+		table:  stmt.From.Name.Table,
+		schema: leftScan.Handle.ScanSchema(),
+		offset: 0,
+	})
 
-	// WHERE.
-	if stmt.Where != nil {
-		cond, err := a.resolveScalar(stmt.Where, a.baseSchema)
+	var root plan.Node
+	if len(stmt.Joins) == 1 {
+		_, rightScan, err := resolveRef(stmt.Joins[0].Table)
 		if err != nil {
-			return nil, fmt.Errorf("analyzer: WHERE: %w", err)
+			return nil, err
 		}
-		cond = expr.FoldConstants(cond)
-		if cond.Type() != types.Bool {
-			return nil, fmt.Errorf("analyzer: WHERE clause has type %s", cond.Type())
+		a.scopes = append(a.scopes, scope{
+			alias:  stmt.Joins[0].Table.Alias,
+			table:  stmt.Joins[0].Table.Name.Table,
+			schema: rightScan.Handle.ScanSchema(),
+			offset: a.scopes[0].schema.Len(),
+		})
+		a.baseSchema = combineSchemas(a.scopes[0].schema, a.scopes[1].schema)
+		root, err = a.buildJoin(leftScan, rightScan)
+		if err != nil {
+			return nil, err
 		}
-		root = &plan.Filter{Input: root, Condition: cond}
+	} else {
+		a.baseSchema = leftScan.Handle.ScanSchema()
+		root = leftScan
+		// WHERE.
+		if stmt.Where != nil {
+			cond, err := a.resolveWhere()
+			if err != nil {
+				return nil, err
+			}
+			root = &plan.Filter{Input: root, Condition: cond}
+		}
 	}
 
 	hasAgg := len(stmt.GroupBy) > 0
@@ -100,6 +131,143 @@ func Analyze(stmt *sqlparser.SelectStmt, resolver Resolver, defaultCatalog strin
 type analysis struct {
 	stmt       *sqlparser.SelectStmt
 	baseSchema *types.Schema
+	// scopes are the FROM-clause tables in source order; with a join the
+	// baseSchema is their column concatenation and each scope records its
+	// ordinal offset into it.
+	scopes []scope
+}
+
+// scope is one FROM-clause table visible to name resolution.
+type scope struct {
+	alias  string // "" when the table was not aliased
+	table  string
+	schema *types.Schema
+	offset int
+}
+
+// matches reports whether a qualifier refers to this scope: the alias
+// when one was declared, else the table name (standard SQL hides the
+// table name behind an alias).
+func (s scope) matches(qualifier string) bool {
+	if s.alias != "" {
+		return strings.EqualFold(s.alias, qualifier)
+	}
+	return strings.EqualFold(s.table, qualifier)
+}
+
+func combineSchemas(l, r *types.Schema) *types.Schema {
+	cols := make([]types.Column, 0, l.Len()+r.Len())
+	cols = append(cols, l.Columns...)
+	cols = append(cols, r.Columns...)
+	return types.NewSchema(cols...)
+}
+
+// resolveWhere resolves the WHERE clause against the base schema and
+// type-checks it to boolean.
+func (a *analysis) resolveWhere() (expr.Expr, error) {
+	cond, err := a.resolveScalar(a.stmt.Where, a.baseSchema)
+	if err != nil {
+		return nil, fmt.Errorf("analyzer: WHERE: %w", err)
+	}
+	cond = expr.FoldConstants(cond)
+	if cond.Type() != types.Bool {
+		return nil, fmt.Errorf("analyzer: WHERE clause has type %s", cond.Type())
+	}
+	return cond, nil
+}
+
+// buildJoin plans `FROM left JOIN right ON ...` with the WHERE clause
+// split by scope: conjuncts touching only one table become a Filter
+// directly above that table's scan (so connector pushdown sees them),
+// mixed conjuncts filter above the join. The ON clause must be a
+// conjunction of equality comparisons between one column from each side.
+func (a *analysis) buildJoin(probe, build *plan.TableScan) (plan.Node, error) {
+	leftWidth := a.scopes[0].schema.Len()
+
+	// ON: extract positionally-paired equi-keys.
+	on, err := a.resolveScalar(a.stmt.Joins[0].On, a.baseSchema)
+	if err != nil {
+		return nil, fmt.Errorf("analyzer: ON: %w", err)
+	}
+	var probeKeys, buildKeys []int
+	for _, c := range expr.Conjuncts(on) {
+		cmp, ok := c.(*expr.Compare)
+		if !ok || cmp.Op != expr.Eq {
+			return nil, fmt.Errorf("analyzer: ON supports equality conjunctions only, got %s", c)
+		}
+		l, lok := cmp.L.(*expr.ColumnRef)
+		r, rok := cmp.R.(*expr.ColumnRef)
+		if !lok || !rok {
+			return nil, fmt.Errorf("analyzer: ON keys must be plain columns, got %s", c)
+		}
+		if r.Index < leftWidth && l.Index >= leftWidth {
+			l, r = r, l // normalize to left = probe side
+		}
+		if l.Index >= leftWidth || r.Index < leftWidth {
+			return nil, fmt.Errorf("analyzer: ON must compare one column from each table, got %s", c)
+		}
+		if l.Kind != r.Kind {
+			return nil, fmt.Errorf("analyzer: ON key type mismatch: %s is %s, %s is %s", l.Name, l.Kind, r.Name, r.Kind)
+		}
+		probeKeys = append(probeKeys, l.Index)
+		buildKeys = append(buildKeys, r.Index-leftWidth)
+	}
+
+	// WHERE: route each conjunct to the narrowest scope that covers it.
+	var probeConj, buildConj, crossConj []expr.Expr
+	if a.stmt.Where != nil {
+		cond, err := a.resolveWhere()
+		if err != nil {
+			return nil, err
+		}
+		buildRemap := make(map[int]int, a.scopes[1].schema.Len())
+		for i := 0; i < a.scopes[1].schema.Len(); i++ {
+			buildRemap[leftWidth+i] = i
+		}
+		for _, c := range expr.Conjuncts(cond) {
+			refs := expr.ReferencedColumns(c)
+			onProbe, onBuild := false, false
+			for _, idx := range refs {
+				if idx < leftWidth {
+					onProbe = true
+				} else {
+					onBuild = true
+				}
+			}
+			switch {
+			case onBuild && !onProbe:
+				remapped, err := expr.Remap(c, buildRemap)
+				if err != nil {
+					return nil, err
+				}
+				buildConj = append(buildConj, remapped)
+			case onProbe && onBuild:
+				crossConj = append(crossConj, c)
+			default: // probe-only (and constant) conjuncts
+				probeConj = append(probeConj, c)
+			}
+		}
+	}
+
+	var probeSide plan.Node = probe
+	if p := expr.AndAll(probeConj); p != nil {
+		probeSide = &plan.Filter{Input: probeSide, Condition: p}
+	}
+	var buildSide plan.Node = build
+	if p := expr.AndAll(buildConj); p != nil {
+		buildSide = &plan.Filter{Input: buildSide, Condition: p}
+	}
+	var root plan.Node = &plan.Join{
+		Probe:     probeSide,
+		Build:     buildSide,
+		ProbeKeys: probeKeys,
+		BuildKeys: buildKeys,
+		Strategy:  plan.JoinAuto,
+	}
+	if p := expr.AndAll(crossConj); p != nil {
+		root = &plan.Filter{Input: root, Condition: p}
+	}
+	return root, nil
 }
 
 // buildProjection handles non-aggregate selects.
@@ -107,6 +275,14 @@ func (a *analysis) buildProjection(input plan.Node) (plan.Node, []string, error)
 	var exprs []expr.Expr
 	var names []string
 	for _, item := range a.stmt.Items {
+		// `SELECT *` expands to every base-schema column in order.
+		if _, isStar := item.Expr.(*sqlparser.Star); isStar {
+			for i, c := range a.baseSchema.Columns {
+				exprs = append(exprs, expr.Col(i, c.Name, c.Type))
+				names = append(names, c.Name)
+			}
+			continue
+		}
 		e, err := a.resolveScalar(item.Expr, a.baseSchema)
 		if err != nil {
 			return nil, nil, err
@@ -240,14 +416,10 @@ func (a *analysis) buildAggregation(input plan.Node) (plan.Node, []string, error
 	aggSchema := agg.OutputSchema()
 
 	// Final projection: rewrite each select item over keys+measures.
-	keyOrdinal := map[string]int{}
-	for i, k := range keyCols {
-		keyOrdinal[strings.ToLower(k.Name)] = i
-	}
 	var fexprs []expr.Expr
 	var fnames []string
 	for _, item := range items {
-		e, err := a.rewriteOverAgg(item.node, aggSchema, keyOrdinal, measureOf, len(keyCols))
+		e, err := a.rewriteOverAgg(item.node, aggSchema, keyCols, measureOf, len(keyCols))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -310,7 +482,7 @@ func (a *analysis) registerAggs(node sqlparser.Node, addAgg func(substrait.AggFu
 
 // rewriteOverAgg converts a select-item AST into an expression over the
 // aggregate output schema (keys then measures).
-func (a *analysis) rewriteOverAgg(node sqlparser.Node, aggSchema *types.Schema, keyOrdinal map[string]int, measureOf map[aggKey]int, numKeys int) (expr.Expr, error) {
+func (a *analysis) rewriteOverAgg(node sqlparser.Node, aggSchema *types.Schema, keyCols []*expr.ColumnRef, measureOf map[aggKey]int, numKeys int) (expr.Expr, error) {
 	switch t := node.(type) {
 	case *sqlparser.FuncCall:
 		fn, ok := aggFuncName(t.Name)
@@ -343,29 +515,41 @@ func (a *analysis) rewriteOverAgg(node sqlparser.Node, aggSchema *types.Schema, 
 		}
 		return colOverAgg(aggSchema, numKeys+idx), nil
 	case *sqlparser.Ident:
-		idx, ok := keyOrdinal[strings.ToLower(t.Name)]
-		if !ok {
-			return nil, fmt.Errorf("analyzer: column %q must appear in GROUP BY or inside an aggregate", t.Name)
-		}
-		return colOverAgg(aggSchema, idx), nil
-	case *sqlparser.Binary:
-		l, err := a.rewriteOverAgg(t.L, aggSchema, keyOrdinal, measureOf, numKeys)
+		// Match by resolved base-schema ordinal, not by name: with a join
+		// in scope, two tables can both have the column and only the
+		// qualifier disambiguates which one was grouped on.
+		ref, err := a.resolveScalar(t, a.baseSchema)
 		if err != nil {
 			return nil, err
 		}
-		r, err := a.rewriteOverAgg(t.R, aggSchema, keyOrdinal, measureOf, numKeys)
+		col, ok := ref.(*expr.ColumnRef)
+		if !ok {
+			return nil, fmt.Errorf("analyzer: internal: ident %s resolved to %T", t, ref)
+		}
+		for i, k := range keyCols {
+			if k.Index == col.Index {
+				return colOverAgg(aggSchema, i), nil
+			}
+		}
+		return nil, fmt.Errorf("analyzer: column %q must appear in GROUP BY or inside an aggregate", t.String())
+	case *sqlparser.Binary:
+		l, err := a.rewriteOverAgg(t.L, aggSchema, keyCols, measureOf, numKeys)
+		if err != nil {
+			return nil, err
+		}
+		r, err := a.rewriteOverAgg(t.R, aggSchema, keyCols, measureOf, numKeys)
 		if err != nil {
 			return nil, err
 		}
 		return combineBinary(t.Op, l, r)
 	case *sqlparser.Unary:
-		inner, err := a.rewriteOverAgg(t.E, aggSchema, keyOrdinal, measureOf, numKeys)
+		inner, err := a.rewriteOverAgg(t.E, aggSchema, keyCols, measureOf, numKeys)
 		if err != nil {
 			return nil, err
 		}
 		return combineUnary(t.Op, inner)
 	case *sqlparser.CastNode:
-		inner, err := a.rewriteOverAgg(t.E, aggSchema, keyOrdinal, measureOf, numKeys)
+		inner, err := a.rewriteOverAgg(t.E, aggSchema, keyCols, measureOf, numKeys)
 		if err != nil {
 			return nil, err
 		}
@@ -398,7 +582,12 @@ func (a *analysis) resolveOrderBy(outSchema *types.Schema, outNames []string) ([
 		var ordinal = -1
 		switch t := item.Expr.(type) {
 		case *sqlparser.Ident:
-			if idx, ok := byName[strings.ToLower(t.Name)]; ok {
+			// Try the rendered form first so `ORDER BY l.orderkey` matches
+			// the unaliased select item "l.orderkey"; fall back to the bare
+			// column name for aliases.
+			if idx, ok := byName[strings.ToLower(t.String())]; ok {
+				ordinal = idx
+			} else if idx, ok := byName[strings.ToLower(t.Name)]; ok {
 				ordinal = idx
 			}
 		case *sqlparser.NumberLit:
@@ -419,16 +608,21 @@ func (a *analysis) resolveOrderBy(outSchema *types.Schema, outNames []string) ([
 func (a *analysis) resolveScalar(node sqlparser.Node, schema *types.Schema) (expr.Expr, error) {
 	switch t := node.(type) {
 	case *sqlparser.Ident:
-		idx := schema.IndexOf(t.Name)
-		if idx < 0 {
-			// Case-insensitive fallback.
-			for i, c := range schema.Columns {
-				if strings.EqualFold(c.Name, t.Name) {
-					idx = i
-					break
-				}
+		// Against the base schema, resolution is scope-aware: qualifiers
+		// select a FROM-clause table and unqualified names must be
+		// unambiguous across them. Derived schemas (aggregate outputs)
+		// have a single namespace.
+		if schema == a.baseSchema && len(a.scopes) > 0 {
+			idx, err := a.resolveInScopes(t)
+			if err != nil {
+				return nil, err
 			}
+			return expr.Col(idx, schema.Columns[idx].Name, schema.Columns[idx].Type), nil
 		}
+		if t.Qualifier != "" {
+			return nil, fmt.Errorf("analyzer: qualified column %s not allowed here", t)
+		}
+		idx := indexIn(schema, t.Name)
 		if idx < 0 {
 			return nil, fmt.Errorf("analyzer: unknown column %q", t.Name)
 		}
@@ -521,6 +715,51 @@ func (a *analysis) resolveScalar(node sqlparser.Node, schema *types.Schema) (exp
 	default:
 		return nil, fmt.Errorf("analyzer: unsupported expression %T", node)
 	}
+}
+
+// indexIn finds a column by name, exact match first then
+// case-insensitive.
+func indexIn(schema *types.Schema, name string) int {
+	if idx := schema.IndexOf(name); idx >= 0 {
+		return idx
+	}
+	for i, c := range schema.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// resolveInScopes resolves an identifier against the FROM-clause tables,
+// returning its base-schema ordinal.
+func (a *analysis) resolveInScopes(id *sqlparser.Ident) (int, error) {
+	if id.Qualifier != "" {
+		for _, s := range a.scopes {
+			if !s.matches(id.Qualifier) {
+				continue
+			}
+			if i := indexIn(s.schema, id.Name); i >= 0 {
+				return s.offset + i, nil
+			}
+			return -1, fmt.Errorf("analyzer: unknown column %q in table %q", id.Name, id.Qualifier)
+		}
+		return -1, fmt.Errorf("analyzer: unknown table or alias %q", id.Qualifier)
+	}
+	found, matches := -1, 0
+	for _, s := range a.scopes {
+		if i := indexIn(s.schema, id.Name); i >= 0 {
+			found = s.offset + i
+			matches++
+		}
+	}
+	switch {
+	case matches > 1:
+		return -1, fmt.Errorf("analyzer: column %q is ambiguous; qualify it with a table alias", id.Name)
+	case found < 0:
+		return -1, fmt.Errorf("analyzer: unknown column %q", id.Name)
+	}
+	return found, nil
 }
 
 func combineBinary(op string, l, r expr.Expr) (expr.Expr, error) {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strings"
 
+	"prestocs/internal/bloom"
 	"prestocs/internal/expr"
 	"prestocs/internal/metastore"
 	"prestocs/internal/plan"
@@ -101,6 +102,21 @@ type TopNSpec struct {
 	Count int64
 }
 
+// BloomSpec is a join build side's membership filter attached to the
+// probe scan: storage hashes each scanned row's key column against the
+// bits and drops proven non-members before they cross the network. The
+// filter is conservative (false positives only), so the engine's hash
+// join stays the correctness authority.
+type BloomSpec struct {
+	// Column is the join-key ordinal over the scan output schema.
+	Column int
+	Filter *bloom.Filter
+	// EstSelectivity estimates the fraction of probe rows the filter
+	// keeps (build keys over probe NDV); 0 when unknown. The adaptive
+	// policy folds it into its pricing prior.
+	EstSelectivity float64
+}
+
 // Pushdown is the Operator Extractor's output: the operators absorbed
 // into the modified TableScan, in execution order.
 type Pushdown struct {
@@ -127,6 +143,10 @@ type Pushdown struct {
 	// planner produced no estimate). The adaptive policy uses it as the
 	// pricing prior until runtime history accumulates for the shape.
 	EstSelectivity float64
+	// Bloom is a join build-side semi-filter, evaluated right after the
+	// pushed filter. Set by the engine (via WithJoinBloom) after the
+	// build side is drained, never by the plan-time extractor.
+	Bloom *BloomSpec
 }
 
 // Operators lists the pushed operator kinds in order.
@@ -134,6 +154,9 @@ func (p *Pushdown) Operators() []string {
 	var ops []string
 	if p.Filter != nil {
 		ops = append(ops, "filter")
+	}
+	if p.Bloom != nil {
+		ops = append(ops, "bloom")
 	}
 	if p.Project != nil {
 		ops = append(ops, "project")
@@ -250,6 +273,48 @@ func aggSchema(in *types.Schema, a *AggSpec) *types.Schema {
 // WithProjection implements plan.ProjectableHandle.
 func (h *Handle) WithProjection(cols []int) plan.TableHandle {
 	return &Handle{Table: h.Table, Projection: cols, Push: h.Push, Adaptive: h.Adaptive}
+}
+
+// WithJoinBloom implements plan.BloomJoinHandle: a copy of the handle
+// whose scan evaluates the build side's bloom filter in storage, right
+// after the pushed filter. It declines when the pushed pipeline
+// rebuilds rows (project/agg/top-N/limit) — a join probe branch never
+// carries those, but a foreign plan shape must not silently mis-map the
+// key ordinal. The selectivity prior is build keys over the probe
+// column's NDV from table statistics.
+func (h *Handle) WithJoinBloom(column int, filter *bloom.Filter, buildKeys int64) (plan.TableHandle, bool) {
+	if filter == nil || column < 0 || column >= h.ScanSchema().Len() {
+		return nil, false
+	}
+	if h.Push != nil && (h.Push.Project != nil || h.Push.Agg != nil ||
+		h.Push.FinalProject != nil || h.Push.TopN != nil || h.Push.Limit > 0) {
+		return nil, false
+	}
+	est := 0.0
+	name := h.ScanSchema().Columns[column].Name
+	if cs, ok := h.Table.Stats(name); ok && cs.NDV > 0 {
+		est = float64(buildKeys) / float64(cs.NDV)
+		if est > 1 {
+			est = 1
+		}
+	}
+	var push Pushdown
+	if h.Push != nil {
+		push = *h.Push
+	}
+	push.Bloom = &BloomSpec{Column: column, Filter: filter, EstSelectivity: est}
+	return &Handle{Table: h.Table, Projection: h.Projection, Push: &push, Adaptive: h.Adaptive}, true
+}
+
+// withoutBloom returns the handle with the bloom spec stripped — the
+// retry shape after a storage node rejects the filter.
+func (h *Handle) withoutBloom() *Handle {
+	if h.Push == nil || h.Push.Bloom == nil {
+		return h
+	}
+	push := *h.Push
+	push.Bloom = nil
+	return &Handle{Table: h.Table, Projection: h.Projection, Push: &push, Adaptive: h.Adaptive}
 }
 
 // PushedOperators implements engine.PushdownReporter.

@@ -20,6 +20,56 @@ type localOptimizer struct {
 	conn *Connector
 }
 
+// optimizeJoin applies the extractor to each branch of a join plan
+// independently. The probe branch is already rooted at its Exchange, so
+// it goes straight back through Optimize; the build branch gets a
+// synthetic Exchange (stripped after) so the same bottom-up walk sees a
+// normal [Exchange, …, Scan] leaf chain. Filters in either branch push
+// into their scan handles; the probe scan's schema (and with it the
+// join-key ordinals) is preserved because a filter-only leaf never
+// triggers output narrowing. The above-join chain is left untouched —
+// cross-table operators cannot execute inside one object's storage node.
+func (o *localOptimizer) optimizeJoin(root plan.Node, session *engine.Session) (plan.Node, error) {
+	var above []plan.Node
+	n := root
+	for {
+		j, ok := n.(*plan.Join)
+		if !ok {
+			kids := n.Children()
+			if len(kids) != 1 {
+				return root, nil // unexpected shape: leave untouched
+			}
+			above = append(above, n)
+			n = kids[0]
+			continue
+		}
+		probe, err := o.Optimize(j.Probe, session)
+		if err != nil {
+			return nil, err
+		}
+		buildRoot, err := o.Optimize(&plan.Exchange{Input: j.Build}, session)
+		if err != nil {
+			return nil, err
+		}
+		build := buildRoot
+		if ex, ok := buildRoot.(*plan.Exchange); ok {
+			build = ex.Input
+		}
+		var node plan.Node = &plan.Join{
+			Probe: probe, Build: build,
+			ProbeKeys: j.ProbeKeys, BuildKeys: j.BuildKeys, Strategy: j.Strategy,
+		}
+		for i := len(above) - 1; i >= 0; i-- {
+			next, err := plan.ReplaceChild(above[i], node)
+			if err != nil {
+				return nil, err
+			}
+			node = next
+		}
+		return node, nil
+	}
+}
+
 // Optimize walks the plan bottom-up from the TableScan, absorbing
 // pushdown-eligible operators into a modified scan handle, exactly the
 // flow of §3.4 step (1).
@@ -35,6 +85,9 @@ func (o *localOptimizer) Optimize(root plan.Node, session *engine.Session) (plan
 	// schedule time through Connector.DecideSplit.
 	if mode.Auto && o.conn != nil && o.conn.policy != nil && !o.conn.policy.AdvisePlanPushdown() {
 		return root, nil
+	}
+	if plan.FindJoin(root) != nil {
+		return o.optimizeJoin(root, session)
 	}
 	chain, err := flatten(root)
 	if err != nil || chain == nil {

@@ -2,8 +2,10 @@ package ocs
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"prestocs/internal/cache"
@@ -18,6 +20,7 @@ import (
 	"prestocs/internal/parquetlite"
 	"prestocs/internal/plan"
 	"prestocs/internal/retry"
+	"prestocs/internal/rpc"
 	"prestocs/internal/substrait"
 	"prestocs/internal/telemetry"
 	"prestocs/internal/types"
@@ -179,6 +182,19 @@ func (c *Connector) pushdownSource(ctx context.Context, h *Handle, split engine.
 	rs, err := c.client.ExecuteStream(openCtx, irPlan)
 	openSpan.End()
 	if err != nil {
+		if h.Push.Bloom != nil && bloomRejected(err) && ctx.Err() == nil {
+			// The node refused the filter (size cap), not the plan: retry
+			// the same split without the bloom and re-apply it engine-side,
+			// so the join still probes a pre-filtered stream.
+			scanSpan.Event("bloom-rejected", err.Error())
+			scanSpan.End()
+			stats.AddJoinBloomRejected()
+			src, serr := c.pushdownSource(ctx, h.withoutBloom(), split, stats)
+			if serr != nil {
+				return nil, serr
+			}
+			return exec.NewBloomProbe(src, h.Push.Bloom.Column, h.Push.Bloom.Filter, nil, nil)
+		}
 		if retry.Transient(err) && ctx.Err() == nil {
 			scanSpan.Event("pushdown-fallback", err.Error())
 			src, ferr := c.fallbackSource(ctx, h, split, stats, 0)
@@ -188,11 +204,22 @@ func (c *Connector) pushdownSource(ctx context.Context, h *Handle, split engine.
 		scanSpan.End()
 		return nil, fmt.Errorf("ocs: executing pushdown for %s: %w", split.Object, err)
 	}
+	if h.Push.Bloom != nil {
+		stats.AddJoinBloomSplit()
+	}
 	stats.AddTransfer(time.Since(start))
 	return &streamSource{
 		ctx: ctx, conn: c, h: h, split: split, span: scanSpan,
 		rs: rs, schema: h.ScanSchema(), stats: stats, object: split.Object,
 	}, nil
+}
+
+// bloomRejected classifies a stream-open failure as the storage node
+// refusing the attached bloom filter: a permanent invalid-plan code
+// whose message names the filter. Plain invalid-plan errors (a
+// connector bug) must not retry.
+func bloomRejected(err error) bool {
+	return errors.Is(err, rpc.ErrInvalid) && strings.Contains(err.Error(), "bloom")
 }
 
 // streamSource adapts an OCS result stream to an exec.Operator. It
@@ -561,6 +588,17 @@ func BuildSubstrait(h *Handle, object string) (*substrait.Plan, error) {
 	if p.Filter != nil {
 		rel = &substrait.FilterRel{Input: rel, Condition: p.Filter}
 	}
+	if p.Bloom != nil {
+		// Above the filter (preserving the filter-on-read pruning fusion)
+		// and below any column narrowing, so the key ordinal is still in
+		// projected-base-schema space.
+		rel = &substrait.BloomFilterRel{
+			Input:   rel,
+			Column:  bloomBaseColumn(h),
+			NumHash: p.Bloom.Filter.NumHash(),
+			Bits:    p.Bloom.Filter.Bits(),
+		}
+	}
 	if p.OutputCols != nil && p.Project == nil && p.Agg == nil {
 		// Drop columns only the pushed filter needed: a plain column
 		// projection executed in-storage after the filter.
@@ -597,4 +635,16 @@ func BuildSubstrait(h *Handle, object string) (*substrait.Plan, error) {
 		rel = &substrait.FetchRel{Input: rel, Count: p.Limit}
 	}
 	return substrait.NewPlan(rel), nil
+}
+
+// bloomBaseColumn maps the bloom key ordinal (scan output schema) down
+// to the pipeline position the BloomFilterRel occupies, below any
+// OutputCols narrowing. WithJoinBloom declines schema-rebuilding
+// pushdowns, so OutputCols is the only mapping in play.
+func bloomBaseColumn(h *Handle) int {
+	col := h.Push.Bloom.Column
+	if h.Push.OutputCols != nil && h.Push.Project == nil && h.Push.Agg == nil {
+		return h.Push.OutputCols[col]
+	}
+	return col
 }

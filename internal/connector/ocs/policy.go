@@ -265,7 +265,10 @@ func (p *Policy) noteFlip() {
 
 // selectivity resolves the expected fraction of rows the pushed pipeline
 // keeps: observed shape history first, the planner's estimate second, an
-// agnostic 0.5 otherwise.
+// agnostic 0.5 otherwise. A join bloom filter scales the plan-time
+// priors by its own estimate (build keys over probe NDV); history needs
+// no scaling because the shape key already includes the bloom marker,
+// so bloom-filtered splits accumulate their own observations.
 func (p *Policy) selectivity(h *Handle) (float64, string) {
 	p.mu.Lock()
 	sh, ok := p.shapes[predicateShape(h)]
@@ -275,10 +278,15 @@ func (p *Policy) selectivity(h *Handle) (float64, string) {
 		return sel, "history"
 	}
 	p.mu.Unlock()
+	sel, source := 0.5, "default"
 	if h.Push != nil && h.Push.EstSelectivity > 0 {
-		return h.Push.EstSelectivity, "prior"
+		sel, source = h.Push.EstSelectivity, "prior"
 	}
-	return 0.5, "default"
+	if h.Push != nil && h.Push.Bloom != nil && h.Push.Bloom.EstSelectivity > 0 {
+		sel *= h.Push.Bloom.EstSelectivity
+		source += "+bloom"
+	}
+	return sel, source
 }
 
 // loadPerWorker converts the backlog EWMA into queueing depth per
@@ -311,6 +319,11 @@ func (p *Policy) price(h *Handle, sel, loadPerWorker float64) (pushCost, rawCost
 	widthIn := float64(h.baseScanSchema().Len())
 	widthOut := float64(h.ScanSchema().Len())
 	scanUnits := rowsIn * widthIn * 2.0 // decode + predicate per cell
+	if h.Push != nil && h.Push.Bloom != nil {
+		// Bloom evaluation runs on the storage cores: one hash chain plus
+		// NumHash membership probes per scanned row.
+		scanUnits += rowsIn * float64(1+h.Push.Bloom.Filter.NumHash())
+	}
 
 	pushM := costmodel.Measured{
 		StorageBytesRead: int64(objBytes),

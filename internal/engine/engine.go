@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"prestocs/internal/analyzer"
+	"prestocs/internal/bloom"
 	"prestocs/internal/column"
+	"prestocs/internal/costmodel"
 	"prestocs/internal/exec"
 	"prestocs/internal/optimizer"
 	"prestocs/internal/plan"
@@ -30,6 +32,11 @@ type Engine struct {
 	// Workers is the leaf-stage parallelism (like Presto task
 	// concurrency). Defaults to GOMAXPROCS.
 	Workers int
+
+	// Cost parameterizes engine-side planning decisions, currently the
+	// broadcast-vs-partitioned join strategy. The zero value falls back
+	// to costmodel.Default() thresholds.
+	Cost costmodel.Params
 
 	// Tracer, when set, gives every query a root span with one child per
 	// coordinator stage; the trace continues across RPC boundaries into
@@ -91,6 +98,12 @@ func (e *Engine) ResolveTable(catalog, table string) (plan.TableHandle, error) {
 	}
 	return c.TableHandle(catalog, table)
 }
+
+// SessionJoinBloom is the session property controlling join bloom-filter
+// pushdown into the probe-side scan; set to "off" to disable (the
+// benchmark sweep measures both arms this way). Any other value — or
+// unset — leaves it on.
+const SessionJoinBloom = "engine.join_bloom"
 
 // Result is a completed query.
 type Result struct {
@@ -200,8 +213,12 @@ func (e *Engine) runQuery(q *Query) (*Result, error) {
 	}
 	stats.GlobalOpt = time.Since(start)
 
-	// 4. Connector-specific (local) optimization.
+	// 4. Connector-specific (local) optimization. For joins, the probe
+	// side's connector drives local optimization and pushdown reporting.
 	scan := plan.FindScan(optimized)
+	if join := plan.FindJoin(optimized); join != nil {
+		scan = plan.FindScan(join.Probe)
+	}
 	if scan == nil {
 		return fail(fmt.Errorf("engine: plan has no table scan"))
 	}
@@ -224,6 +241,10 @@ func (e *Engine) runQuery(q *Query) (*Result, error) {
 
 	// 5-6. Split generation, scheduling, execution.
 	scan = plan.FindScan(optimized)
+	join := plan.FindJoin(optimized)
+	if join != nil {
+		scan = plan.FindScan(join.Probe)
+	}
 	if scan == nil {
 		return fail(fmt.Errorf("engine: optimized plan lost its scan"))
 	}
@@ -234,7 +255,13 @@ func (e *Engine) runQuery(q *Query) (*Result, error) {
 	start = time.Now()
 	q.setState(StateRunning)
 	execCtx, execSpan := telemetry.StartSpan(ctx, "engine.execution")
-	page, schema, err := e.run(execCtx, optimized, scan, conn, stats)
+	var page *column.Page
+	var schema *types.Schema
+	if join != nil {
+		page, schema, err = e.runJoin(execCtx, optimized, join, scan, conn, session, stats)
+	} else {
+		page, schema, err = e.run(execCtx, optimized, scan, conn, stats)
+	}
 	execSpan.End()
 	stats.Execution = time.Since(start)
 	stats.Total = time.Since(startTotal)
@@ -261,23 +288,225 @@ type PushdownReporter interface {
 	PushedOperators() []string
 }
 
-// run executes the physical plan: leaf stage per split on the worker
-// pool, final stage on the coordinator, pipelined through a channel.
+// run executes a single-table physical plan: leaf stage per split on
+// the worker pool, final stage on the coordinator, pipelined through a
+// channel.
 func (e *Engine) run(ctx context.Context, root plan.Node, scan *plan.TableScan, conn Connector, stats *QueryStats) (*column.Page, *types.Schema, error) {
 	leafChain, finalChain, err := splitAtExchange(root)
 	if err != nil {
 		return nil, nil, err
 	}
+	stage, nsplits, err := e.startLeafStage(ctx, leafChain, scan, conn, stats, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Splits = nsplits
+	exchangeSchema := leafOutputSchema(leafChain, scan)
+	return e.finishFinalStage(stage, exchangeSchema, finalChain, nil, stats)
+}
+
+// runJoin executes a plan containing one inner equi-join. The build
+// side runs first as its own leaf stage and is indexed into a hash
+// table on the coordinator. Strategy then picks where the probe
+// happens: broadcast replicates the (small) table into every leaf
+// worker so probing parallelizes with the scan; partitioned keeps the
+// table on the coordinator and probes the exchange stream in the final
+// stage. When the build side has a single key and the probe branch is
+// filter-only over a BloomJoinHandle, a bloom filter over the build
+// keys is pushed into the probe scan so storage drops non-matching rows
+// before they cross the network.
+func (e *Engine) runJoin(ctx context.Context, root plan.Node, join *plan.Join, probeScan *plan.TableScan, probeConn Connector, session *Session, stats *QueryStats) (*column.Page, *types.Schema, error) {
+	above, err := chainToJoin(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	probeLeaf, probeFinal, err := splitAtExchange(join.Probe)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(probeFinal) > 0 {
+		return nil, nil, fmt.Errorf("engine: join probe has operators above its exchange")
+	}
+
+	// Build stage: run the whole build branch on the worker pool, drain
+	// it into the hash table. BuildJoinTable returns a truncated table
+	// without error when workers failed, so the stage error wins.
+	buildScan := plan.FindScan(join.Build)
+	if buildScan == nil {
+		return nil, nil, fmt.Errorf("engine: join build side has no scan")
+	}
+	buildConn, err := e.connector(buildScan.Handle.ConnectorName())
+	if err != nil {
+		return nil, nil, err
+	}
+	buildChain, err := branchChain(join.Build)
+	if err != nil {
+		return nil, nil, err
+	}
+	buildStage, buildSplits, err := e.startLeafStage(ctx, buildChain, buildScan, buildConn, stats, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	buildSrc := exec.NewFuncSource(leafOutputSchema(buildChain, buildScan), func() (*column.Page, error) {
+		page, ok := <-buildStage.Pages
+		if !ok {
+			return nil, nil
+		}
+		return page, nil
+	})
+	table, err := exec.BuildJoinTable(buildSrc, join.BuildKeys, &stats.FinalMeter)
+	buildStage.Drain()
+	if werr := buildStage.Err(); werr != nil {
+		return nil, nil, werr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.JoinBuildRows = int64(table.Rows())
+
+	strategy := join.Strategy
+	if strategy == plan.JoinAuto {
+		if e.Cost.BroadcastJoin(int64(table.Rows()), table.Bytes()) {
+			strategy = plan.JoinBroadcast
+		} else {
+			strategy = plan.JoinPartitioned
+		}
+	}
+
+	// Bloom pushdown into the probe scan. Filter-only probe branches
+	// keep scan-schema ordinals intact, so the join key ordinal maps
+	// straight onto the handle.
+	if len(join.BuildKeys) == 1 && session.Get(SessionJoinBloom) != "off" && filterOnly(probeLeaf) {
+		if bh, ok := probeScan.Handle.(plan.BloomJoinHandle); ok {
+			if f, err := table.BuildBloom(bloom.DefaultBitsPerKey); err == nil {
+				if nh, ok := bh.WithJoinBloom(join.ProbeKeys[0], f, int64(table.Rows())); ok {
+					probeScan.Handle = nh
+					if ph, ok := nh.(PushdownReporter); ok {
+						stats.PushedDown = ph.PushedOperators()
+						stats.UsedPushdown = len(stats.PushedDown) > 0
+					}
+				}
+			}
+		}
+	}
+
+	// Probe stage.
+	var wrap func(exec.Operator, *exec.Meter) (exec.Operator, error)
+	var extra func(exec.Operator) (exec.Operator, error)
+	var exchangeSchema *types.Schema
+	switch strategy {
+	case plan.JoinBroadcast:
+		stats.JoinStrategy = "broadcast"
+		// The table is read-only after build; every worker probes it.
+		wrap = func(op exec.Operator, meter *exec.Meter) (exec.Operator, error) {
+			return exec.NewHashJoinProbe(op, table, join.ProbeKeys, meter)
+		}
+		exchangeSchema = join.OutputSchema()
+	default:
+		stats.JoinStrategy = "partitioned"
+		extra = func(src exec.Operator) (exec.Operator, error) {
+			return exec.NewHashJoinProbe(src, table, join.ProbeKeys, &stats.FinalMeter)
+		}
+		exchangeSchema = leafOutputSchema(probeLeaf, probeScan)
+	}
+	probeStage, probeSplits, err := e.startLeafStage(ctx, probeLeaf, probeScan, probeConn, stats, wrap)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Splits = probeSplits + buildSplits
+	return e.finishFinalStage(probeStage, exchangeSchema, above, extra, stats)
+}
+
+// chainToJoin returns the single-child spine strictly above the plan's
+// join, bottom-up.
+func chainToJoin(root plan.Node) ([]plan.Node, error) {
+	var above []plan.Node
+	n := root
+	for {
+		if _, ok := n.(*plan.Join); ok {
+			break
+		}
+		kids := n.Children()
+		if len(kids) != 1 {
+			return nil, fmt.Errorf("engine: unsupported plan shape above join (%T)", n)
+		}
+		above = append(above, n)
+		n = kids[0]
+	}
+	for i, j := 0, len(above)-1; i < j; i, j = i+1, j-1 {
+		above[i], above[j] = above[j], above[i]
+	}
+	return above, nil
+}
+
+// branchChain returns an exchange-free join branch's nodes strictly
+// above its scan, bottom-up.
+func branchChain(root plan.Node) ([]plan.Node, error) {
+	var chain []plan.Node
+	n := root
+	for {
+		if _, ok := n.(*plan.TableScan); ok {
+			break
+		}
+		kids := n.Children()
+		if len(kids) != 1 {
+			return nil, fmt.Errorf("engine: non-linear join branch (%T)", n)
+		}
+		chain = append(chain, n)
+		n = kids[0]
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, nil
+}
+
+// filterOnly reports whether every node in the chain is a Filter (the
+// shape under which scan-schema column ordinals survive unchanged).
+func filterOnly(chain []plan.Node) bool {
+	for _, n := range chain {
+		if _, ok := n.(*plan.Filter); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// leafStage is one scan's distributed fan-out in flight: Pages streams
+// worker output and closes when every split is done (or the stage
+// failed). Err is valid only after Pages closes.
+type leafStage struct {
+	Pages  chan *column.Page
+	failed *atomic.Bool
+	errFn  func() error
+}
+
+// Err returns the first worker error; call only after Pages has closed.
+func (ls *leafStage) Err() error { return ls.errFn() }
+
+// Drain discards any unconsumed pages (and so unblocks workers) until
+// Pages closes.
+func (ls *leafStage) Drain() {
+	for range ls.Pages {
+	}
+}
+
+// startLeafStage launches the worker pool over the scan's splits,
+// compiling chain (bottom-up, exchange-free) onto each split's page
+// source. wrap, when set, is applied per worker on top of the compiled
+// pipeline — the broadcast hash join probes inside the workers this way.
+// Worker operator time lands in stats.LeafMeter.
+func (e *Engine) startLeafStage(ctx context.Context, chain []plan.Node, scan *plan.TableScan, conn Connector, stats *QueryStats, wrap func(exec.Operator, *exec.Meter) (exec.Operator, error)) (*leafStage, int, error) {
 	var splits []Split
+	var err error
 	if ss, ok := conn.(SplitSource); ok {
 		splits, err = ss.SplitsWithStats(scan.Handle, &stats.Scan)
 	} else {
 		splits, err = conn.Splits(scan.Handle)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, err
 	}
-	stats.Splits = len(splits)
 
 	workers := e.Workers
 	if workers <= 0 {
@@ -336,10 +565,16 @@ func (e *Engine) run(ctx context.Context, root plan.Node, scan *plan.TableScan, 
 					return false
 				}
 				defer closeSource(source)
-				pipeline, err := compileChain(leafChain, source, &meter)
+				pipeline, err := compileChain(chain, source, &meter)
 				if err != nil {
 					fail(err)
 					return false
+				}
+				if wrap != nil {
+					if pipeline, err = wrap(pipeline, &meter); err != nil {
+						fail(err)
+						return false
+					}
 				}
 				for {
 					page, err := pipeline.Next()
@@ -385,27 +620,41 @@ func (e *Engine) run(ctx context.Context, root plan.Node, scan *plan.TableScan, 
 		close(pageCh)
 	}()
 
-	// Final stage: consume the exchange output.
-	exchangeSchema := leafOutputSchema(leafChain, scan)
-	source := exec.NewFuncSource(exchangeSchema, func() (*column.Page, error) {
-		page, ok := <-pageCh
+	return &leafStage{
+		Pages:  pageCh,
+		failed: &failed,
+		errFn:  func() error { return workerErr },
+	}, len(splits), nil
+}
+
+// finishFinalStage consumes a leaf stage's exchange output through the
+// final chain on the coordinator. extra, when set, is inserted between
+// the exchange and the final chain (the partitioned hash join probe).
+func (e *Engine) finishFinalStage(stage *leafStage, exchangeSchema *types.Schema, finalChain []plan.Node, extra func(exec.Operator) (exec.Operator, error), stats *QueryStats) (*column.Page, *types.Schema, error) {
+	source := exec.Operator(exec.NewFuncSource(exchangeSchema, func() (*column.Page, error) {
+		page, ok := <-stage.Pages
 		if !ok {
 			return nil, nil
 		}
 		return page, nil
-	})
+	}))
+	var err error
+	if extra != nil {
+		if source, err = extra(source); err != nil {
+			stage.Drain()
+			return nil, nil, err
+		}
+	}
 	finalOp, err := compileChain(finalChain, source, &stats.FinalMeter)
 	if err != nil {
 		// Drain workers before returning so goroutines do not leak.
-		for range pageCh {
-		}
+		stage.Drain()
 		return nil, nil, err
 	}
 	result, err := exec.DrainToPage(finalOp)
-	for range pageCh { // drain any remainder (e.g. final Limit stopped early)
-	}
-	if workerErr != nil {
-		return nil, nil, workerErr
+	stage.Drain() // drain any remainder (e.g. final Limit stopped early)
+	if werr := stage.Err(); werr != nil {
+		return nil, nil, werr
 	}
 	if err != nil {
 		return nil, nil, err

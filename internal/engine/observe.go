@@ -33,6 +33,10 @@ func (e *Engine) observeQuery(qspan *telemetry.Span, stats *QueryStats, err erro
 		if stats.UsedPushdown {
 			qspan.SetAttr("pushdown", strings.Join(stats.PushedDown, ","))
 		}
+		if stats.JoinStrategy != "" {
+			qspan.SetAttr("join_strategy", stats.JoinStrategy)
+			qspan.SetAttr("join_build_rows", fmt.Sprint(stats.JoinBuildRows))
+		}
 		if err != nil {
 			qspan.Event("error", err.Error())
 		}
@@ -54,4 +58,11 @@ func (e *Engine) observeQuery(qspan *telemetry.Span, stats *QueryStats, err erro
 	if stats.UsedPushdown {
 		reg.Counter(telemetry.MetricQueryPushdown).Inc()
 	}
+	if stats.JoinStrategy != "" {
+		reg.Counter(telemetry.MetricQueryJoins).Inc()
+		reg.Counter(telemetry.MetricJoinStrategyChosen, "strategy", stats.JoinStrategy).Inc()
+		reg.Counter(telemetry.MetricJoinBuildRows).Add(stats.JoinBuildRows)
+	}
+	reg.Counter(telemetry.MetricJoinBloomPushdown).Add(scan.JoinBloomSplits)
+	reg.Counter(telemetry.MetricJoinBloomRejected).Add(scan.JoinBloomRejected)
 }

@@ -62,6 +62,12 @@ type ScanStats struct {
 	// mid-stream to the local resume path because the adaptive policy
 	// repriced them against live selectivity and storage load.
 	AdaptiveFlips int64
+	// JoinBloomSplits counts probe splits that shipped a join build-side
+	// bloom filter into storage; JoinBloomRejected counts splits where
+	// the node refused the filter (size cap) and the scan retried without
+	// it, re-applying the filter engine-side.
+	JoinBloomSplits   int64
+	JoinBloomRejected int64
 }
 
 // AddBytesMoved records network payload bytes.
@@ -140,22 +146,40 @@ func (s *ScanStats) AddAdaptiveFlip() {
 	s.AdaptiveFlips++
 }
 
+// AddJoinBloomSplit records one probe split opened with a bloom filter
+// pushed into storage.
+func (s *ScanStats) AddJoinBloomSplit() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.JoinBloomSplits++
+}
+
+// AddJoinBloomRejected records one storage-side bloom refusal (the scan
+// retried without the filter).
+func (s *ScanStats) AddJoinBloomRejected() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.JoinBloomRejected++
+}
+
 // Snapshot returns a copy for reporting.
 func (s *ScanStats) Snapshot() ScanStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return ScanStats{
-		BytesMoved:       s.BytesMoved,
-		StorageWork:      s.StorageWork,
-		SubstraitGen:     s.SubstraitGen,
-		Transfer:         s.Transfer,
-		DeserializeUnits: s.DeserializeUnits,
-		ResultRows:       s.ResultRows,
-		FallbackSplits:   s.FallbackSplits,
-		SplitsPruned:     s.SplitsPruned,
-		PushdownSplits:   s.PushdownSplits,
-		RawSplits:        s.RawSplits,
-		AdaptiveFlips:    s.AdaptiveFlips,
+		BytesMoved:        s.BytesMoved,
+		StorageWork:       s.StorageWork,
+		SubstraitGen:      s.SubstraitGen,
+		Transfer:          s.Transfer,
+		DeserializeUnits:  s.DeserializeUnits,
+		ResultRows:        s.ResultRows,
+		FallbackSplits:    s.FallbackSplits,
+		SplitsPruned:      s.SplitsPruned,
+		PushdownSplits:    s.PushdownSplits,
+		RawSplits:         s.RawSplits,
+		AdaptiveFlips:     s.AdaptiveFlips,
+		JoinBloomSplits:   s.JoinBloomSplits,
+		JoinBloomRejected: s.JoinBloomRejected,
 	}
 }
 
@@ -261,6 +285,12 @@ type QueryStats struct {
 	PlanText     string
 	PushedDown   []string // operator kinds absorbed by the connector
 	UsedPushdown bool
+
+	// Join execution (zero values for single-table queries).
+	// JoinStrategy is "broadcast" or "partitioned"; JoinBuildRows the
+	// rows indexed from the build side.
+	JoinStrategy  string
+	JoinBuildRows int64
 
 	// TraceID identifies the query's trace when the engine has a tracer
 	// (zero otherwise); prestolite's -profile flag renders it.

@@ -68,6 +68,9 @@ type Config struct {
 	// StreamWindow sets the per-stream credit window on the OCS nodes
 	// and frontend (0 = rpc.DefaultStreamWindow, negative disables).
 	StreamWindow int
+	// MaxBloomBytes caps pushed join bloom filters on the storage nodes
+	// (0 = ocsserver.DefaultMaxBloomBytes, negative disables).
+	MaxBloomBytes int
 	// Pushdown, when non-empty, is the default ocs.pushdown session mode
 	// RunCtx applies to sessions that don't set one: "always", "never",
 	// "auto", or any other ParseMode value.
@@ -95,6 +98,7 @@ func StartClusterWith(storageNodes int, cfg Config) (*Cluster, error) {
 	}
 	ocsCfg.ScanPool = cfg.ScanPool
 	ocsCfg.StreamWindow = cfg.StreamWindow
+	ocsCfg.MaxBloomBytes = cfg.MaxBloomBytes
 	ocsCluster, err := ocsserver.StartClusterWith(storageNodes, ocsCfg)
 	if err != nil {
 		return nil, err

@@ -117,7 +117,7 @@ func randomQuery(rnd *rand.Rand) string {
 	}
 }
 
-// TestQuickPushdownSoundness is DESIGN.md §9's load-bearing invariant:
+// TestQuickPushdownSoundness is DESIGN.md §10's load-bearing invariant:
 // for randomly generated queries and data, every pushdown configuration
 // (including auto) returns exactly the same multiset of rows as no
 // pushdown.

@@ -435,6 +435,9 @@ type ClusterConfig struct {
 	// StreamWindow sets the per-stream credit window on every node and
 	// the frontend (0 = rpc.DefaultStreamWindow, negative disables).
 	StreamWindow int
+	// MaxBloomBytes caps pushed bloom-filter sizes on every node
+	// (0 = DefaultMaxBloomBytes, negative disables the cap).
+	MaxBloomBytes int
 }
 
 // StartCluster launches n storage nodes and a frontend on loopback.
@@ -452,6 +455,7 @@ func StartClusterWith(n int, cfg ClusterConfig) (*Cluster, error) {
 		node.Metrics = cfg.Metrics
 		node.ScanPool = cfg.ScanPool
 		node.StreamWindow = cfg.StreamWindow
+		node.MaxBloomBytes = cfg.MaxBloomBytes
 		if cfg.Tracing {
 			node.Tracer = telemetry.NewTracer(0)
 			c.Tracers[node.nodeLabel()] = node.Tracer

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"sync"
 
+	"prestocs/internal/bloom"
 	"prestocs/internal/cache"
 	"prestocs/internal/column"
 	"prestocs/internal/compress"
@@ -139,6 +140,26 @@ func compileRel(store *objstore.Store, rel substrait.Rel, env *execEnv) (exec.Op
 			return nil, err
 		}
 		return exec.NewFilter(input, t.Condition, &env.meter)
+	case *substrait.BloomFilterRel:
+		// Join semi-filter pushed from the engine: hash each probe row's
+		// key against the build side's bloom bits and drop proven misses
+		// before they reach the wire. Sits above FilterRel by IR contract,
+		// so filter-on-read fusion (row-group pruning) still fires below.
+		input, err := compileRel(store, t.Input, env)
+		if err != nil {
+			return nil, err
+		}
+		f, err := bloom.FromBits(t.Bits, t.NumHash)
+		if err != nil {
+			return nil, rpc.WithCode(fmt.Errorf("ocsserver: bad bloom filter: %w", err), rpc.CodeInvalid)
+		}
+		reg := telemetry.RegistryFrom(env.context())
+		tested := reg.Counter(telemetry.MetricStorageBloomRowsTested)
+		filtered := reg.Counter(telemetry.MetricStorageBloomRowsFiltered)
+		return exec.NewBloomProbe(input, t.Column, f, &env.meter, func(in, kept int) {
+			tested.Add(int64(in))
+			filtered.Add(int64(in - kept))
+		})
 	case *substrait.ProjectRel:
 		input, err := compileRel(store, t.Input, env)
 		if err != nil {

@@ -62,6 +62,13 @@ type StorageNode struct {
 	// Metrics under this node's label.
 	Caches *cache.Storage
 
+	// MaxBloomBytes caps the bloom-filter bit arrays a pushed plan may
+	// attach (per BloomFilterRel). Oversize filters are refused with an
+	// invalid-plan error — the engine strips the filter and retries rather
+	// than shipping megabytes of bits to every split. 0 selects
+	// DefaultMaxBloomBytes; negative disables the cap. Set before Listen.
+	MaxBloomBytes int
+
 	// sched is the node-wide fair-share scan scheduler: one worker pool
 	// (sized by the first query's resolved ScanPool) round-robining
 	// row-group tasks across all active queries, so a heavy scan cannot
@@ -138,6 +145,34 @@ func (n *StorageNode) Close() error {
 	return err
 }
 
+// DefaultMaxBloomBytes is the bloom bit-array cap applied when
+// MaxBloomBytes is zero: 256 KiB holds ~200k build keys at the default
+// 10 bits/key, well past the broadcast-join threshold, while keeping a
+// degenerate plan from shipping an arbitrarily large array per split.
+const DefaultMaxBloomBytes = 256 << 10
+
+// checkBloomSize enforces MaxBloomBytes on every BloomFilterRel in the
+// plan. The error is CodeInvalid — not transient — so the connector
+// retries without the filter instead of falling back off pushdown
+// entirely. Only the RPC path enforces the cap: local replay
+// (ExecuteLocal*) runs whatever the engine already committed to.
+func (n *StorageNode) checkBloomSize(plan *substrait.Plan) error {
+	limit := n.MaxBloomBytes
+	if limit == 0 {
+		limit = DefaultMaxBloomBytes
+	}
+	if limit < 0 {
+		return nil
+	}
+	var reject error
+	substrait.WalkRels(plan.Root, func(r substrait.Rel) {
+		if b, ok := r.(*substrait.BloomFilterRel); ok && len(b.Bits) > limit && reject == nil {
+			reject = rpc.WithCode(fmt.Errorf("node %d: bloom filter %d bytes exceeds cap %d", n.ID, len(b.Bits), limit), rpc.CodeInvalid)
+		}
+	})
+	return reject
+}
+
 // handleExecute parses a Substrait plan, runs it locally and streams the
 // result: chunk 0 is an arrowlite schema message, every further chunk is
 // one arrowlite record-batch message, and the end-frame trailer carries
@@ -170,6 +205,9 @@ func (n *StorageNode) handleExecute(ctx context.Context, payload []byte, send fu
 	planSchema, err := plan.Validate()
 	if err != nil {
 		return nil, rpc.WithCode(fmt.Errorf("node %d: %w", n.ID, err), rpc.CodeInvalid)
+	}
+	if err := n.checkBloomSize(plan); err != nil {
+		return nil, err
 	}
 	env := newExecEnv(n.ScanPool)
 	env.ctx = ctx

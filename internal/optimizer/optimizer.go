@@ -19,14 +19,85 @@ import (
 	"prestocs/internal/substrait"
 )
 
-// Optimize applies all global rules in order.
+// Optimize applies all global rules in order. Join plans take the
+// dedicated path: the leaf/final split lands inside the probe branch.
 func Optimize(root plan.Node) (plan.Node, error) {
+	if plan.FindJoin(root) != nil {
+		return optimizeJoin(root)
+	}
 	root = fuseSortLimit(root)
 	root, err := pruneColumns(root)
 	if err != nil {
 		return nil, err
 	}
 	return addExchange(root)
+}
+
+// optimizeJoin handles plans with a Join node. The probe side is the
+// distributed branch, so the Exchange goes directly above it — the
+// connector's local optimizer then sees a normal [Exchange, …, Scan]
+// leaf chain and can push filters (and later the build side's bloom)
+// into storage. The build side is drained centrally before any probe
+// split runs, and everything above the join (cross-side filters,
+// aggregation, ordering) stays on the final stage. Limit(Sort) above
+// the join still fuses into TopN.
+func optimizeJoin(root plan.Node) (plan.Node, error) {
+	chain, join, err := flattenToJoin(root)
+	if err != nil {
+		return nil, err
+	}
+	// Fuse Limit(Sort(x)) → TopN within the above-join chain.
+	var above []plan.Node
+	for i := 0; i < len(chain); i++ {
+		if lim, ok := chain[i].(*plan.Limit); ok && i+1 < len(chain) {
+			if srt, ok := chain[i+1].(*plan.Sort); ok {
+				above = append(above, &plan.TopN{Keys: srt.Keys, Count: lim.Count})
+				i++
+				continue
+			}
+		}
+		above = append(above, chain[i])
+	}
+	if _, err := flatten(&plan.Exchange{Input: join.Probe}); err != nil {
+		return nil, fmt.Errorf("optimizer: join probe branch: %w", err)
+	}
+	if _, err := flatten(join.Build); err != nil {
+		return nil, fmt.Errorf("optimizer: join build branch: %w", err)
+	}
+	node := plan.Node(&plan.Join{
+		Probe:     &plan.Exchange{Input: join.Probe},
+		Build:     join.Build,
+		ProbeKeys: join.ProbeKeys,
+		BuildKeys: join.BuildKeys,
+		Strategy:  join.Strategy,
+	})
+	for i := len(above) - 1; i >= 0; i-- {
+		next, err := plan.ReplaceChild(above[i], node)
+		if err != nil {
+			return nil, err
+		}
+		node = next
+	}
+	return node, nil
+}
+
+// flattenToJoin renders the single-child spine from root down to the
+// Join node (exclusive): chain[len-1] is the Join's parent. An empty
+// chain means the Join is the root.
+func flattenToJoin(root plan.Node) ([]plan.Node, *plan.Join, error) {
+	var chain []plan.Node
+	n := root
+	for {
+		if j, ok := n.(*plan.Join); ok {
+			return chain, j, nil
+		}
+		kids := n.Children()
+		if len(kids) != 1 {
+			return nil, nil, fmt.Errorf("optimizer: unexpected %T above join", n)
+		}
+		chain = append(chain, n)
+		n = kids[0]
+	}
 }
 
 // flatten renders the linear plan as a slice from root down to the scan.

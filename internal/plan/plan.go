@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 
+	"prestocs/internal/bloom"
 	"prestocs/internal/exec"
 	"prestocs/internal/expr"
 	"prestocs/internal/substrait"
@@ -37,6 +38,19 @@ type TableHandle interface {
 type ProjectableHandle interface {
 	TableHandle
 	WithProjection(cols []int) TableHandle
+}
+
+// BloomJoinHandle is implemented by handles that can evaluate a join
+// build side's bloom filter inside the storage scan. WithJoinBloom
+// returns a new handle whose scan drops rows the filter proves absent
+// from the build side; column is the key ordinal over ScanSchema and
+// buildKeys the distinct-key count behind the filter (the connector's
+// selectivity prior). ok=false declines the filter — e.g. when pushed
+// operators rebuild the schema and the key ordinal cannot be mapped —
+// and the engine keeps the filter on its side instead.
+type BloomJoinHandle interface {
+	TableHandle
+	WithJoinBloom(column int, filter *bloom.Filter, buildKeys int64) (h TableHandle, ok bool)
 }
 
 // Node is a logical plan node.
@@ -225,6 +239,56 @@ func (n *Limit) Children() []Node { return []Node{n.Input} }
 // Describe implements Node.
 func (n *Limit) Describe() string { return fmt.Sprintf("Limit[%d]", n.Count) }
 
+// JoinStrategy is how a hash join distributes its build side.
+type JoinStrategy uint8
+
+const (
+	// JoinAuto defers the choice to the engine, which measures the built
+	// table and applies the cost model's broadcast threshold.
+	JoinAuto JoinStrategy = iota
+	// JoinBroadcast replicates the built hash table to every leaf worker,
+	// probing inside the leaf stage.
+	JoinBroadcast
+	// JoinPartitioned probes on the coordinator's final stage (this
+	// engine's single-coordinator stand-in for a repartitioned join).
+	JoinPartitioned
+)
+
+func (s JoinStrategy) String() string {
+	return [...]string{"AUTO", "BROADCAST", "PARTITIONED"}[s]
+}
+
+// Join is an inner hash equi-join. The build side is fully drained into a
+// hash table keyed by BuildKeys before the probe side streams; output is
+// the probe columns followed by the build columns. ProbeKeys index the
+// probe child's schema, BuildKeys the build child's; pairs match
+// positionally.
+type Join struct {
+	Probe Node
+	Build Node
+	// ProbeKeys/BuildKeys are equi-key ordinals, positionally paired.
+	ProbeKeys []int
+	BuildKeys []int
+	Strategy  JoinStrategy
+}
+
+// OutputSchema implements Node: probe columns then build columns.
+func (n *Join) OutputSchema() *types.Schema {
+	p, b := n.Probe.OutputSchema(), n.Build.OutputSchema()
+	cols := make([]types.Column, 0, p.Len()+b.Len())
+	cols = append(cols, p.Columns...)
+	cols = append(cols, b.Columns...)
+	return types.NewSchema(cols...)
+}
+
+// Children implements Node.
+func (n *Join) Children() []Node { return []Node{n.Probe, n.Build} }
+
+// Describe implements Node.
+func (n *Join) Describe() string {
+	return fmt.Sprintf("Join(INNER,%s)[probe=%v build=%v]", n.Strategy, n.ProbeKeys, n.BuildKeys)
+}
+
 // Exchange marks the leaf/final stage boundary: everything below runs per
 // split on workers, everything above runs once on the coordinator.
 type Exchange struct {
@@ -299,6 +363,30 @@ func FindScan(root Node) *TableScan {
 		}
 	})
 	return scan
+}
+
+// FindScans returns every TableScan in the tree, in Walk (top-down,
+// probe-before-build) order.
+func FindScans(root Node) []*TableScan {
+	var scans []*TableScan
+	Walk(root, func(n Node) {
+		if s, ok := n.(*TableScan); ok {
+			scans = append(scans, s)
+		}
+	})
+	return scans
+}
+
+// FindJoin returns the tree's Join node (nil when absent; this engine
+// plans at most one join per query).
+func FindJoin(root Node) *Join {
+	var join *Join
+	Walk(root, func(n Node) {
+		if j, ok := n.(*Join); ok {
+			join = j
+		}
+	})
+	return join
 }
 
 // ReplaceChild returns a structural copy of parent with its single input

@@ -7,8 +7,10 @@ import (
 
 // SelectStmt is the parsed form of a SELECT query.
 type SelectStmt struct {
-	Items   []SelectItem
-	From    TableName
+	Items []SelectItem
+	From  TableRef
+	// Joins holds the INNER JOIN ... ON clauses, in source order.
+	Joins   []JoinClause
 	Where   Node
 	GroupBy []Node
 	OrderBy []OrderItem
@@ -35,6 +37,26 @@ func (t TableName) String() string {
 	return t.Schema + "." + t.Table
 }
 
+// TableRef is a table in the FROM clause with an optional alias
+// ("lineitem l" or "tpch.lineitem AS l").
+type TableRef struct {
+	Name  TableName
+	Alias string
+}
+
+func (t TableRef) String() string {
+	if t.Alias == "" {
+		return t.Name.String()
+	}
+	return t.Name.String() + " " + t.Alias
+}
+
+// JoinClause is one INNER JOIN <table> ON <condition>.
+type JoinClause struct {
+	Table TableRef
+	On    Node
+}
+
 // OrderItem is one ORDER BY key.
 type OrderItem struct {
 	Expr Node
@@ -47,13 +69,22 @@ type Node interface {
 	isNode()
 }
 
-// Ident references a column by name.
-type Ident struct{ Name string }
+// Ident references a column by name, optionally qualified by a table
+// alias or table name ("l.orderkey").
+type Ident struct {
+	Qualifier string // "" when unqualified
+	Name      string
+}
 
-func (n *Ident) isNode()        {}
-func (n *Ident) String() string { return n.Name }
+func (n *Ident) isNode() {}
+func (n *Ident) String() string {
+	if n.Qualifier != "" {
+		return n.Qualifier + "." + n.Name
+	}
+	return n.Name
+}
 
-// Star is COUNT(*)'s argument.
+// Star is `*` — COUNT(*)'s argument or a whole-row select item.
 type Star struct{}
 
 func (n *Star) isNode()        {}
@@ -186,6 +217,9 @@ func (s *SelectStmt) String() string {
 		}
 	}
 	sb.WriteString(" FROM " + s.From.String())
+	for _, j := range s.Joins {
+		sb.WriteString(" JOIN " + j.Table.String() + " ON " + j.On.String())
+	}
 	if s.Where != nil {
 		sb.WriteString(" WHERE " + s.Where.String())
 	}

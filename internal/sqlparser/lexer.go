@@ -1,7 +1,8 @@
 // Package sqlparser implements the SQL front end: a lexer and a
 // recursive-descent parser producing an unresolved AST, covering the
 // dialect exercised by the paper's workloads — SELECT lists with
-// aggregates and aliases, WHERE with AND/OR/NOT/BETWEEN/IS NULL,
+// aggregates, aliases and `*`, inner JOIN ... ON with table aliases and
+// qualified `t.col` references, WHERE with AND/OR/NOT/BETWEEN/IS NULL,
 // GROUP BY, ORDER BY with ASC/DESC, LIMIT, DATE literals and INTERVAL
 // arithmetic (TPC-H Q1's `DATE '1998-12-01' - INTERVAL '90' DAY`).
 package sqlparser
@@ -30,13 +31,34 @@ type token struct {
 	pos  int
 }
 
+// String names the kind for parser error messages ("expected identifier,
+// found ...").
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokKeyword:
+		return "keyword"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokSymbol:
+		return "symbol"
+	default:
+		return "token"
+	}
+}
+
 var keywords = map[string]bool{
 	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
 	"ORDER": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
 	"NOT": true, "BETWEEN": true, "IS": true, "NULL": true, "ASC": true,
 	"DESC": true, "DATE": true, "INTERVAL": true, "DAY": true, "TRUE": true,
 	"FALSE": true, "CAST": true, "DOUBLE": true, "BIGINT": true,
-	"VARCHAR": true, "BOOLEAN": true,
+	"VARCHAR": true, "BOOLEAN": true, "JOIN": true, "INNER": true, "ON": true,
 }
 
 type lexError struct {

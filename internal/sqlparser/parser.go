@@ -50,7 +50,13 @@ func (p *parser) expect(kind tokenKind, text string) (token, error) {
 		p.advance()
 		return t, nil
 	}
-	return token{}, p.errf("expected %s, found %q", text, p.cur().text)
+	// With no literal text the expectation is a token class (identifier,
+	// number, string); name the class instead of printing an empty string.
+	want := text
+	if want == "" {
+		want = kind.String()
+	}
+	return token{}, p.errf("expected %s, found %q", want, p.cur().text)
 }
 
 func (p *parser) errf(format string, args ...interface{}) error {
@@ -75,11 +81,33 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
 		return nil, err
 	}
-	name, err := p.parseTableName()
+	ref, err := p.parseTableRef()
 	if err != nil {
 		return nil, err
 	}
-	stmt.From = name
+	stmt.From = ref
+
+	for p.at(tokKeyword, "JOIN") || p.at(tokKeyword, "INNER") {
+		if p.accept(tokKeyword, "INNER") {
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+		} else {
+			p.advance() // JOIN
+		}
+		right, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Joins = append(stmt.Joins, JoinClause{Table: right, On: on})
+	}
 
 	if p.accept(tokKeyword, "WHERE") {
 		w, err := p.parseExpr()
@@ -139,6 +167,12 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 }
 
 func (p *parser) parseSelectItem() (SelectItem, error) {
+	// A bare `*` cannot start an expression (it would be multiplication),
+	// so it is recognized here as the whole-row select item.
+	if p.at(tokSymbol, "*") {
+		p.advance()
+		return SelectItem{Expr: &Star{}}, nil
+	}
 	e, err := p.parseExpr()
 	if err != nil {
 		return SelectItem{}, err
@@ -173,6 +207,27 @@ func (p *parser) parseTableName() (TableName, error) {
 	return TableName{Table: t1.text}, nil
 }
 
+// parseTableRef parses a FROM/JOIN table with an optional alias:
+// `name`, `name alias` or `name AS alias`.
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.parseTableName()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: name}
+	if p.accept(tokKeyword, "AS") {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = t.text
+	} else if p.at(tokIdent, "") {
+		ref.Alias = p.cur().text
+		p.advance()
+	}
+	return ref, nil
+}
+
 // Expression grammar, loosest to tightest:
 //
 //	expr     := orExpr
@@ -183,7 +238,7 @@ func (p *parser) parseTableName() (TableName, error) {
 //	additive := multiplicative (("+"|"-") multiplicative)*
 //	multiplicative := unary (("*"|"/"|"%") unary)*
 //	unary    := "-" unary | primary
-//	primary  := literal | ident | funcCall | CAST | "(" expr ")"
+//	primary  := literal | ident | ident "." ident | funcCall | CAST | "(" expr ")"
 func (p *parser) parseExpr() (Node, error) { return p.parseOr() }
 
 func (p *parser) parseOr() (Node, error) {
@@ -393,6 +448,14 @@ func (p *parser) parsePrimary() (Node, error) {
 		return e, nil
 	case t.kind == tokIdent:
 		p.advance()
+		if p.accept(tokSymbol, ".") {
+			// Qualified column reference: alias.column or table.column.
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &Ident{Qualifier: t.text, Name: col.text}, nil
+		}
 		if p.accept(tokSymbol, "(") {
 			call := &FuncCall{Name: lower(t.text)}
 			if p.accept(tokSymbol, "*") {

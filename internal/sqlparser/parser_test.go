@@ -16,7 +16,7 @@ func mustParse(t *testing.T, sql string) *SelectStmt {
 
 func TestSimpleSelect(t *testing.T) {
 	stmt := mustParse(t, "SELECT a, b FROM t")
-	if len(stmt.Items) != 2 || stmt.From.Table != "t" || stmt.Limit != -1 {
+	if len(stmt.Items) != 2 || stmt.From.Name.Table != "t" || stmt.Limit != -1 {
 		t.Errorf("stmt = %+v", stmt)
 	}
 	if id, ok := stmt.Items[0].Expr.(*Ident); !ok || id.Name != "a" {
@@ -26,7 +26,7 @@ func TestSimpleSelect(t *testing.T) {
 
 func TestQualifiedTableAndAliases(t *testing.T) {
 	stmt := mustParse(t, "SELECT x AS foo, y bar FROM lanl.laghos")
-	if stmt.From.Schema != "lanl" || stmt.From.Table != "laghos" {
+	if stmt.From.Name.Schema != "lanl" || stmt.From.Name.Table != "laghos" {
 		t.Errorf("from = %v", stmt.From)
 	}
 	if stmt.Items[0].Alias != "foo" || stmt.Items[1].Alias != "bar" {
@@ -240,6 +240,100 @@ func TestStringRendersBack(t *testing.T) {
 	// Re-parsing the rendered text must succeed (idempotence check).
 	if _, err := Parse(out); err != nil {
 		t.Errorf("re-parse failed: %v", err)
+	}
+}
+
+func TestStarSelectItem(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM t")
+	if len(stmt.Items) != 1 {
+		t.Fatalf("items = %d", len(stmt.Items))
+	}
+	if _, ok := stmt.Items[0].Expr.(*Star); !ok {
+		t.Fatalf("item0 = %T, want *Star", stmt.Items[0].Expr)
+	}
+	// Star mixed with named columns.
+	stmt = mustParse(t, "SELECT *, a FROM t WHERE a > 1")
+	if _, ok := stmt.Items[0].Expr.(*Star); !ok || len(stmt.Items) != 2 {
+		t.Errorf("mixed star parse: %+v", stmt.Items)
+	}
+	// `*` in expression position is still multiplication.
+	stmt = mustParse(t, "SELECT a * b FROM t")
+	if mul, ok := stmt.Items[0].Expr.(*Binary); !ok || mul.Op != "*" {
+		t.Errorf("a * b = %v", stmt.Items[0].Expr)
+	}
+}
+
+func TestExpectErrorNamesTokenKind(t *testing.T) {
+	// expect(tokIdent, "") used to render `expected , found "1"` with an
+	// empty %s; the message must name the expected token class.
+	_, err := Parse("SELECT a FROM 1")
+	if err == nil {
+		t.Fatal("Parse succeeded on FROM 1")
+	}
+	if !strings.Contains(err.Error(), `expected identifier, found "1"`) {
+		t.Errorf("error = %q, want it to contain `expected identifier, found \"1\"`", err)
+	}
+	if strings.Contains(err.Error(), "expected ,") {
+		t.Errorf("error still has the empty-kind rendering: %q", err)
+	}
+	// Literal-text expectations are unchanged.
+	_, err = Parse("SELECT a t")
+	if err == nil || !strings.Contains(err.Error(), "expected FROM") {
+		t.Errorf("keyword expectation = %v", err)
+	}
+}
+
+func TestJoinGrammar(t *testing.T) {
+	stmt := mustParse(t, `SELECT l.orderkey, o.orderdate FROM lineitem l
+		JOIN tpch.orders AS o ON l.orderkey = o.orderkey WHERE l.quantity > 5`)
+	if stmt.From.Name.Table != "lineitem" || stmt.From.Alias != "l" {
+		t.Fatalf("from = %+v", stmt.From)
+	}
+	if len(stmt.Joins) != 1 {
+		t.Fatalf("joins = %d", len(stmt.Joins))
+	}
+	j := stmt.Joins[0]
+	if j.Table.Name.Schema != "tpch" || j.Table.Name.Table != "orders" || j.Table.Alias != "o" {
+		t.Errorf("join table = %+v", j.Table)
+	}
+	on, ok := j.On.(*Binary)
+	if !ok || on.Op != "=" {
+		t.Fatalf("on = %v", j.On)
+	}
+	l, ok := on.L.(*Ident)
+	if !ok || l.Qualifier != "l" || l.Name != "orderkey" {
+		t.Errorf("on left = %v", on.L)
+	}
+	if id, ok := stmt.Items[1].Expr.(*Ident); !ok || id.Qualifier != "o" || id.Name != "orderdate" {
+		t.Errorf("item1 = %v", stmt.Items[1].Expr)
+	}
+	// INNER JOIN is the same thing.
+	stmt = mustParse(t, "SELECT * FROM a INNER JOIN b ON a.k = b.k")
+	if len(stmt.Joins) != 1 {
+		t.Errorf("INNER JOIN not parsed: %+v", stmt)
+	}
+	// Rendering includes the join and re-parses.
+	out := stmt.String()
+	if !strings.Contains(out, "JOIN b ON") {
+		t.Errorf("rendered = %q", out)
+	}
+	if _, err := Parse(out); err != nil {
+		t.Errorf("re-parse failed: %v", err)
+	}
+}
+
+func TestJoinParseErrors(t *testing.T) {
+	bad := []string{
+		"SELECT * FROM a JOIN b",             // missing ON
+		"SELECT * FROM a JOIN ON a.k = b.k",  // missing table
+		"SELECT * FROM a INNER b ON a.k = 1", // INNER without JOIN
+		"SELECT * FROM a JOIN b ON",          // missing condition
+		"SELECT a. FROM t",                   // dangling qualifier
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded", sql)
+		}
 	}
 }
 

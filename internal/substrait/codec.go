@@ -34,6 +34,7 @@ const (
 	relAggregate = 4
 	relSort      = 5
 	relFetch     = 6
+	relBloom     = 7
 )
 
 // Marshal serializes a plan.
@@ -405,6 +406,14 @@ func encodeRel(m *protowire.Encoder, r Rel) error {
 				me.String(3, mm.Name)
 			})
 		}
+	case *BloomFilterRel:
+		m.Uint64(1, relBloom)
+		if err := encodeRelField(m, 7, t.Input); err != nil {
+			return err
+		}
+		m.Int64(17, int64(t.Column))
+		m.Int64(18, int64(t.NumHash))
+		m.Bytes(19, t.Bits)
 	case *SortRel:
 		m.Uint64(1, relSort)
 		if err := encodeRelField(m, 7, t.Input); err != nil {
@@ -455,6 +464,9 @@ func decodeRel(d *protowire.Decoder) (Rel, error) {
 		sortKeys   []SortKey
 		offset     int64
 		count      int64
+		bloomCol   int64
+		bloomHash  int64
+		bloomBits  []byte
 	)
 	for !d.Done() {
 		f, ty, err := d.Next()
@@ -534,6 +546,12 @@ func decodeRel(d *protowire.Decoder) (Rel, error) {
 			offset, err = d.Int64()
 		case 16:
 			count, err = d.Int64()
+		case 17:
+			bloomCol, err = d.Int64()
+		case 18:
+			bloomHash, err = d.Int64()
+		case 19:
+			bloomBits, err = d.Bytes()
 		default:
 			err = d.Skip(ty)
 		}
@@ -566,6 +584,11 @@ func decodeRel(d *protowire.Decoder) (Rel, error) {
 			return nil, fmt.Errorf("substrait: aggregate missing input")
 		}
 		return &AggregateRel{Input: input, GroupKeys: groupKeys, Measures: measures}, nil
+	case relBloom:
+		if input == nil {
+			return nil, fmt.Errorf("substrait: bloom filter missing input")
+		}
+		return &BloomFilterRel{Input: input, Column: int(bloomCol), NumHash: int(bloomHash), Bits: bloomBits}, nil
 	case relSort:
 		if input == nil {
 			return nil, fmt.Errorf("substrait: sort missing input")

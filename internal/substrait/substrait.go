@@ -211,6 +211,41 @@ func (r *AggregateRel) OutputSchema() (*types.Schema, error) {
 	return types.NewSchema(cols...), nil
 }
 
+// BloomFilterRel keeps input rows whose Column value may be a member of
+// the attached bloom filter — the wire form of a join's build-side
+// semi-filter pushed into the probe-side scan. Bits is the raw bit
+// array; NumHash the double-hashing probe count. The hash functions are
+// fixed by the IR contract (see internal/bloom), so engine and storage
+// node agree bit-for-bit. It always sits above any FilterRel so the
+// filter-on-read row-group pruning fusion stays intact.
+type BloomFilterRel struct {
+	Input   Rel
+	Column  int
+	NumHash int
+	Bits    []byte
+}
+
+func (r *BloomFilterRel) isRel() {}
+
+// OutputSchema passes the input schema through after validating the
+// filter shape.
+func (r *BloomFilterRel) OutputSchema() (*types.Schema, error) {
+	in, err := r.Input.OutputSchema()
+	if err != nil {
+		return nil, err
+	}
+	if r.Column < 0 || r.Column >= in.Len() {
+		return nil, fmt.Errorf("substrait: bloom filter column ordinal %d out of range", r.Column)
+	}
+	if r.NumHash < 1 || r.NumHash > 16 {
+		return nil, fmt.Errorf("substrait: bloom filter hash count %d out of range", r.NumHash)
+	}
+	if len(r.Bits) == 0 {
+		return nil, fmt.Errorf("substrait: bloom filter without bits")
+	}
+	return in, nil
+}
+
 // SortRel orders the input.
 type SortRel struct {
 	Input Rel
@@ -279,6 +314,8 @@ func WalkRels(r Rel, fn func(Rel)) {
 	switch t := r.(type) {
 	case *FilterRel:
 		WalkRels(t.Input, fn)
+	case *BloomFilterRel:
+		WalkRels(t.Input, fn)
 	case *ProjectRel:
 		WalkRels(t.Input, fn)
 	case *AggregateRel:
@@ -301,6 +338,8 @@ func (p *Plan) String() string {
 			parts = append(parts, fmt.Sprintf("Read(%s/%s)", t.Bucket, t.Object))
 		case *FilterRel:
 			parts = append(parts, "Filter")
+		case *BloomFilterRel:
+			parts = append(parts, fmt.Sprintf("BloomFilter[c%d, %dB]", t.Column, len(t.Bits)))
 		case *ProjectRel:
 			parts = append(parts, fmt.Sprintf("Project[%d]", len(t.Expressions)))
 		case *AggregateRel:

@@ -170,6 +170,58 @@ func TestMarshalRoundTrip(t *testing.T) {
 	}
 }
 
+func TestMarshalBloomFilterRoundTrip(t *testing.T) {
+	read := &ReadRel{Bucket: "b", Object: "o", BaseSchema: baseSchema()}
+	cond, err := expr.NewCompare(expr.Gt,
+		expr.Col(1, "x", types.Float64), expr.Lit(types.FloatValue(0.5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bloomRel := &BloomFilterRel{
+		Input:   &FilterRel{Input: read, Condition: cond},
+		Column:  0,
+		NumHash: 7,
+		Bits:    []byte{0x01, 0x80, 0xFF, 0x00, 0x42},
+	}
+	p := NewPlan(bloomRel)
+	if _, err := p.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	data, err := Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := got.Root.(*BloomFilterRel)
+	if !ok {
+		t.Fatalf("root = %T, want BloomFilterRel", got.Root)
+	}
+	if b.Column != 0 || b.NumHash != 7 || string(b.Bits) != string(bloomRel.Bits) {
+		t.Fatalf("round trip lost fields: %+v", b)
+	}
+	if _, ok := b.Input.(*FilterRel); !ok {
+		t.Fatalf("bloom input = %T, want FilterRel", b.Input)
+	}
+	if !strings.Contains(got.String(), "BloomFilter[c0, 5B]") {
+		t.Errorf("plan summary %q missing bloom stage", got.String())
+	}
+
+	// Validation rejects malformed bloom rels.
+	bad := []*BloomFilterRel{
+		{Input: read, Column: 99, NumHash: 4, Bits: []byte{1}},
+		{Input: read, Column: 0, NumHash: 0, Bits: []byte{1}},
+		{Input: read, Column: 0, NumHash: 4},
+	}
+	for i, rel := range bad {
+		if _, err := NewPlan(rel).Validate(); err == nil {
+			t.Errorf("bad bloom rel %d accepted", i)
+		}
+	}
+}
+
 func TestMarshalProjectAndAllExprKinds(t *testing.T) {
 	read := &ReadRel{Bucket: "b", Object: "o", BaseSchema: baseSchema(), Projection: []int{0, 1, 3}}
 	// Build an expression exercising every node kind.

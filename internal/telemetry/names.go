@@ -60,6 +60,11 @@ const (
 	// frames leave the node; the same value rides the frames as the
 	// storage-load signal for adaptive pushdown.
 	MetricNodeSchedBacklog = "ocs_node_sched_backlog"
+	// Join bloom-filter evaluation on the storage node: probe rows hashed
+	// against a pushed build-side filter, and the subset it proved absent
+	// from the build (dropped before leaving the node).
+	MetricStorageBloomRowsTested   = "ocs_bloom_rows_tested_total"
+	MetricStorageBloomRowsFiltered = "ocs_bloom_rows_filtered_total"
 
 	// Engine admission control and the live-query process list.
 	// Queued gauges queries waiting for an admission slot; rejected
@@ -85,6 +90,17 @@ const (
 	// MetricQuerySplitsPruned counts splits dropped before scheduling by
 	// per-object statistics (zone-map split pruning).
 	MetricQuerySplitsPruned = "engine_query_splits_pruned_total"
+	// Join execution: queries that ran a hash join, the build-side rows
+	// indexed across them, and the per-query split of broadcast vs
+	// partitioned probe strategies (labels: strategy).
+	MetricQueryJoins         = "engine_join_queries_total"
+	MetricJoinBuildRows      = "engine_join_build_rows_total"
+	MetricJoinStrategyChosen = "engine_join_strategy_total"
+	// Bloom pushdown accounting: probe splits that carried a build-side
+	// bloom filter into storage, and splits where the node rejected the
+	// filter (size cap) and the scan retried without it.
+	MetricJoinBloomPushdown = "engine_join_bloom_splits_total"
+	MetricJoinBloomRejected = "engine_join_bloom_rejected_total"
 
 	// Connector pushdown monitor (window-independent lifetime totals).
 	MetricMonitorQueries      = "ocs_monitor_queries_total"

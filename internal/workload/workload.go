@@ -288,6 +288,46 @@ const TPCHQuery = `SELECT returnflag, linestatus, ` +
 // filter keeps ≈98% of rows), returnflag/linestatus following the
 // dbgen rules (4 populated combinations), quantity 1–50, prices and
 // rates in dbgen ranges. Default scale: 8 files × 32768 rows.
+// TPCHQ3Query is the Q3-shaped two-table query over lineitem ⋈ orders:
+// build-side date filter, equi-join on orderkey, revenue aggregation,
+// top-10 by revenue. It exercises the full join path — build stage,
+// bloom pushdown into the probe scan, final aggregation.
+const TPCHQ3Query = `SELECT l.orderkey AS orderkey, o.orderdate AS orderdate, ` +
+	`SUM(l.extendedprice * (1 - l.discount)) AS revenue ` +
+	`FROM lineitem AS l JOIN orders AS o ON l.orderkey = o.orderkey ` +
+	`WHERE o.orderdate < DATE '1994-01-01' ` +
+	`GROUP BY l.orderkey, o.orderdate ORDER BY revenue DESC LIMIT 10`
+
+// TPCHOrders generates the orders columns Q3 touches. Orderkeys are
+// 1:1 with the lineitem table generated at the same Config scale (one
+// order per lineitem row), so generate both with identical Files ×
+// RowsPerFile. Orderdate is uniform over the 1992–1998 window; the Q3
+// cutoff of 1994-01-01 keeps ≈29% of orders, which is what gives the
+// build-side bloom filter its probe-row reduction.
+func TPCHOrders(cfg Config) (*Dataset, error) {
+	cfg = cfg.normalize(8, 32768)
+	schema := types.NewSchema(
+		types.Column{Name: "orderkey", Type: types.Int64},
+		types.Column{Name: "orderdate", Type: types.Date},
+		types.Column{Name: "orderpriority", Type: types.String},
+	)
+	startDate, _ := types.DateFromString("1992-01-02")
+	endDate, _ := types.DateFromString("1998-12-01")
+	window := endDate.I - startDate.I
+	priorities := []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	gen := func(f int, page *column.Page) {
+		rnd := rand.New(rand.NewSource(cfg.Seed + int64(f)*32452843))
+		for r := 0; r < cfg.RowsPerFile; r++ {
+			page.AppendRow(
+				types.IntValue(int64(f)*int64(cfg.RowsPerFile)+int64(r)),
+				types.DateValue(startDate.I+rnd.Int63n(window)),
+				types.StringValue(priorities[rnd.Intn(len(priorities))]),
+			)
+		}
+	}
+	return build("orders", "tpch", cfg, schema, gen, nil, TPCHQ3Query)
+}
+
 func TPCH(cfg Config) (*Dataset, error) {
 	cfg = cfg.normalize(8, 32768)
 	schema := types.NewSchema(
