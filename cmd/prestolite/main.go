@@ -6,7 +6,15 @@
 //	           [-pushdown always|never|filter|...|auto] [-explain] [-profile]
 //	           [-meta-cache-tables 1024] [-metrics-listen :9280]
 //	           [-max-queries N] [-queue N] [-memory-budget BYTES]
+//	           [-ingest [-ingest-flush-rows N] [-compact-interval 30s]]
 //	           "SELECT ..."
+//
+// -ingest enables the write path: INSERT INTO ... VALUES statements
+// buffer rows through the ingest package into parquetlite objects with
+// fresh zone maps, committed to the metastore (and persisted back to the
+// catalog JSON) before the statement returns. -compact-interval starts a
+// background compactor that merges small objects and re-sorts them by
+// the clustering key; in-flight queries keep their pinned snapshot.
 //
 // Without a query argument it reads statements from stdin, one per line.
 // -profile prints an EXPLAIN ANALYZE-style per-query trace after each
@@ -38,6 +46,7 @@ import (
 	"prestocs/internal/connector/hive"
 	ocsconn "prestocs/internal/connector/ocs"
 	"prestocs/internal/engine"
+	"prestocs/internal/ingest"
 	"prestocs/internal/metastore"
 	"prestocs/internal/objstore"
 	"prestocs/internal/ocsserver"
@@ -53,6 +62,9 @@ func main() {
 	profile := flag.Bool("profile", false, "print a per-query trace profile after each statement")
 	metaCacheTables := flag.Int("meta-cache-tables", cache.DefaultTableCacheEntries, "table-metadata cache entries per catalog (0 disables)")
 	metricsListen := flag.String("metrics-listen", "", "serve /metrics, /debug/traces and /debug/queries on this address")
+	ingestMode := flag.Bool("ingest", false, "enable the write path: INSERT statements buffer rows into parquetlite objects on the ocs catalog")
+	flushRows := flag.Int("ingest-flush-rows", 0, "ingest: rows buffered per table before an object is sealed (0 = default)")
+	compactEvery := flag.Duration("compact-interval", 0, "ingest: background compaction interval over ocs tables (0 disables)")
 	maxQueries := flag.Int("max-queries", 0, "admission: max concurrently executing queries (0 = unlimited)")
 	maxQueued := flag.Int("queue", 0, "admission: max queries queued once saturated (0 = shed immediately)")
 	memBudget := flag.Int64("memory-budget", 0, "admission: total query-memory budget in bytes (0 = unlimited)")
@@ -100,6 +112,31 @@ func main() {
 		conn.Monitor().SetMetrics(eng.Metrics)
 		conn.SetMetrics(eng.Metrics)
 	}
+	if *ingestMode {
+		ing := ingest.NewIngester(ms, ocsCli, ingest.Options{
+			FlushRows: *flushRows,
+			Telemetry: eng.Metrics,
+		})
+		conn.AttachIngester(ing)
+		// Persist catalog changes (new objects, compactions) on exit so a
+		// restarted prestolite sees the ingested data.
+		defer func() {
+			if err := ms.Save(*catalogPath); err != nil {
+				fmt.Fprintf(os.Stderr, "prestolite: saving catalog: %v\n", err)
+			}
+		}()
+		if *compactEvery > 0 {
+			comp := ingest.NewCompactor(ms, ocsCli, ingest.CompactorOptions{Telemetry: eng.Metrics})
+			for _, qn := range ms.List() {
+				schema, name, ok := strings.Cut(qn, ".")
+				if !ok || schema != "ocs" {
+					continue
+				}
+				comp.Start(context.Background(), schema, name, *compactEvery)
+			}
+			defer comp.Stop()
+		}
+	}
 	if *objAddr != "" {
 		objCli := objstore.NewClient(*objAddr)
 		defer objCli.Close()
@@ -124,6 +161,19 @@ func main() {
 	run := func(sql string) {
 		sql = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";"))
 		if sql == "" {
+			return
+		}
+		if word := strings.ToUpper(strings.Fields(sql)[0]); word == "INSERT" {
+			res, err := eng.Ingest(context.Background(), sql)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				return
+			}
+			fmt.Printf("-- inserted %d rows into %s.%s in %v (queryable)\n",
+				res.Rows, res.Catalog, res.Table, res.Duration.Round(time.Millisecond))
+			if err := ms.Save(*catalogPath); err != nil {
+				fmt.Fprintf(os.Stderr, "prestolite: saving catalog: %v\n", err)
+			}
 			return
 		}
 		session := engine.NewSession().Set(ocsconn.SessionPushdown, *pushdown)

@@ -116,6 +116,42 @@ func (c *TableCache) Get(schema, name string) (*metastore.Table, error) {
 	return v.(*metastore.Table), nil
 }
 
+// pinnedSource is the optional source capability behind GetPinned: an
+// atomic read-and-pin of the (table, version) pair. The metastore
+// implements it.
+type pinnedSource interface {
+	GetPinned(schema, name string) (*metastore.Table, *metastore.Pin, error)
+}
+
+// GetPinned returns the table together with a snapshot pin taken
+// atomically at the version of the returned instance, so compaction
+// cannot physically delete objects the caller's scan still references.
+// The cached read runs first (warming the cache and keeping hit/miss
+// accounting identical to Get); the pinned instance then comes from the
+// source in one atomic step — a cached pointer cannot be paired with a
+// pin taken at a different version. Sources without pin support fall
+// back to a plain Get with a nil pin.
+func (c *TableCache) GetPinned(schema, name string) (*metastore.Table, *metastore.Pin, error) {
+	ps, ok := c.src.(pinnedSource)
+	if !ok {
+		t, err := c.Get(schema, name)
+		return t, nil, err
+	}
+	if c.max > 0 {
+		if _, err := c.Get(schema, name); err != nil {
+			return nil, nil, err
+		}
+	}
+	t, pin, err := ps.GetPinned(schema, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.max > 0 {
+		c.store(strings.ToLower(schema+"."+name), t, pin.Version())
+	}
+	return t, pin, nil
+}
+
 // store inserts or refreshes an entry, evicting the least recently used
 // table past the entry bound.
 func (c *TableCache) store(key string, t *metastore.Table, ver uint64) {

@@ -208,7 +208,18 @@ type Handle struct {
 	// Adaptive is set (auto mode only) when the per-split policy may
 	// override the planned pushdown and flip mid-stream.
 	Adaptive *AdaptiveParams
+	// pin holds the metastore snapshot this handle's Table was read at;
+	// every copy the optimizer or join machinery makes shares it, and the
+	// engine releases it exactly once when the query finishes. Nil for
+	// handles built outside the pinned path (tests, direct construction).
+	pin *metastore.Pin
 }
+
+// ReleaseSnapshot implements engine.SnapshotHandle: it releases the
+// metastore pin taken at plan time, allowing compaction to physically
+// delete objects this snapshot referenced. Idempotent; shared by all
+// copies of the handle.
+func (h *Handle) ReleaseSnapshot() { h.pin.Release() }
 
 // ConnectorName implements plan.TableHandle.
 func (h *Handle) ConnectorName() string { return h.Table.Schema }
@@ -272,7 +283,7 @@ func aggSchema(in *types.Schema, a *AggSpec) *types.Schema {
 
 // WithProjection implements plan.ProjectableHandle.
 func (h *Handle) WithProjection(cols []int) plan.TableHandle {
-	return &Handle{Table: h.Table, Projection: cols, Push: h.Push, Adaptive: h.Adaptive}
+	return &Handle{Table: h.Table, Projection: cols, Push: h.Push, Adaptive: h.Adaptive, pin: h.pin}
 }
 
 // WithJoinBloom implements plan.BloomJoinHandle: a copy of the handle
@@ -303,7 +314,7 @@ func (h *Handle) WithJoinBloom(column int, filter *bloom.Filter, buildKeys int64
 		push = *h.Push
 	}
 	push.Bloom = &BloomSpec{Column: column, Filter: filter, EstSelectivity: est}
-	return &Handle{Table: h.Table, Projection: h.Projection, Push: &push, Adaptive: h.Adaptive}, true
+	return &Handle{Table: h.Table, Projection: h.Projection, Push: &push, Adaptive: h.Adaptive, pin: h.pin}, true
 }
 
 // withoutBloom returns the handle with the bloom spec stripped — the
@@ -314,7 +325,7 @@ func (h *Handle) withoutBloom() *Handle {
 	}
 	push := *h.Push
 	push.Bloom = nil
-	return &Handle{Table: h.Table, Projection: h.Projection, Push: &push, Adaptive: h.Adaptive}
+	return &Handle{Table: h.Table, Projection: h.Projection, Push: &push, Adaptive: h.Adaptive, pin: h.pin}
 }
 
 // PushedOperators implements engine.PushdownReporter.

@@ -296,7 +296,7 @@ structWalk:
 		}
 	}
 
-	newHandle := &Handle{Table: handle.Table, Projection: handle.Projection, Push: push}
+	newHandle := &Handle{Table: handle.Table, Projection: handle.Projection, Push: push, pin: handle.pin}
 	if mode.Auto {
 		newHandle.Adaptive = adaptiveParams(session)
 	}

@@ -14,6 +14,7 @@ import (
 	"prestocs/internal/engine"
 	"prestocs/internal/exec"
 	"prestocs/internal/expr"
+	"prestocs/internal/ingest"
 	"prestocs/internal/metastore"
 	"prestocs/internal/objstore"
 	"prestocs/internal/ocsserver"
@@ -34,6 +35,9 @@ type Connector struct {
 	client  *ocsserver.Client
 	monitor *Monitor
 	policy  *Policy
+	// ingester, when attached, enables the write path (engine.Ingest)
+	// on this catalog.
+	ingester *ingest.Ingester
 }
 
 // New creates a connector bound to a metastore and an OCS frontend.
@@ -79,13 +83,17 @@ func (c *Connector) SetMetrics(reg *telemetry.Registry) {
 
 // TableHandle implements engine.Connector; lookups go through the
 // versioned metadata cache, so N concurrent queries for a hot table cost
-// one metastore round trip plus N cheap version checks.
+// one metastore round trip plus N cheap version checks. The handle
+// additionally pins the metastore snapshot it resolved, freezing the
+// object set a racing ingest or compaction could otherwise mutate out
+// from under the scan; the engine releases the pin when the query
+// finishes (see Handle.ReleaseSnapshot).
 func (c *Connector) TableHandle(schema, table string) (plan.TableHandle, error) {
-	t, err := c.tables.Get(schema, table)
+	t, pin, err := c.tables.GetPinned(schema, table)
 	if err != nil {
 		return nil, err
 	}
-	return &Handle{Table: t}, nil
+	return &Handle{Table: t, pin: pin}, nil
 }
 
 // Splits implements engine.Connector: one split per object.

@@ -196,7 +196,13 @@ func (e *Engine) runQuery(q *Query) (*Result, error) {
 		stageSpan.End()
 		return fail(err)
 	}
-	logical, err := analyzer.Analyze(stmt, e, e.DefaultCatalog)
+	// Table resolution goes through a per-query resolver so every handle
+	// that pinned a metastore snapshot releases it when this query is
+	// done — however the query ends. Until then, compaction defers the
+	// physical deletion of any object the pinned snapshots reference.
+	resolver := &queryResolver{eng: e}
+	defer resolver.releaseAll()
+	logical, err := analyzer.Analyze(stmt, resolver, e.DefaultCatalog)
 	stageSpan.End()
 	if err != nil {
 		return fail(err)

@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"prestocs/internal/analyzer"
+	"prestocs/internal/plan"
+	"prestocs/internal/sqlparser"
+	"prestocs/internal/types"
+)
+
+// IngestConnector is the optional connector capability behind
+// engine.Ingest: accept fully-typed rows for a table and make them
+// durable and queryable (the OCS connector routes them through the
+// ingest buffer to parquetlite objects committed with fresh zone maps).
+type IngestConnector interface {
+	IngestRows(ctx context.Context, schema, table string, rows [][]types.Value) (int64, error)
+}
+
+// SnapshotHandle is implemented by table handles that pin a metastore
+// snapshot at resolution time. The engine releases every pinned handle
+// exactly once when its query finishes, allowing deferred physical
+// deletes (compaction garbage collection) to proceed.
+type SnapshotHandle interface {
+	ReleaseSnapshot()
+}
+
+// queryResolver wraps the engine's table resolution for one query,
+// recording every handle it created so their snapshot pins release when
+// the query completes — including handles resolved for plans that later
+// fail to optimize or execute.
+type queryResolver struct {
+	eng     *Engine
+	handles []plan.TableHandle
+}
+
+func (r *queryResolver) ResolveTable(catalog, table string) (plan.TableHandle, error) {
+	h, err := r.eng.ResolveTable(catalog, table)
+	if err == nil {
+		r.handles = append(r.handles, h)
+	}
+	return h, err
+}
+
+// releaseAll releases the snapshot pins of every recorded handle.
+// Handle copies made by the optimizer share the original's pin, and
+// release is idempotent, so releasing the originals is sufficient.
+func (r *queryResolver) releaseAll() {
+	for _, h := range r.handles {
+		if s, ok := h.(SnapshotHandle); ok {
+			s.ReleaseSnapshot()
+		}
+	}
+}
+
+// IngestResult reports one completed INSERT.
+type IngestResult struct {
+	Catalog string
+	Table   string
+	// Rows is the row count accepted and committed.
+	Rows int64
+	// Duration covers parse through commit — the statement's
+	// time-to-queryable.
+	Duration time.Duration
+}
+
+// Ingest executes one INSERT statement: parse, resolve the target
+// table, fold and coerce the VALUES tuples to the table schema, and
+// hand the typed rows to the catalog's ingest-capable connector. On
+// return the rows are durable and visible to new queries (queries
+// already running keep their pinned snapshot and do not see them).
+func (e *Engine) Ingest(ctx context.Context, sql string) (*IngestResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	stmt, err := sqlparser.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	ins, ok := stmt.(*sqlparser.InsertStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: Ingest wants an INSERT statement; use Submit for queries")
+	}
+	catalog := ins.Table.Schema
+	if catalog == "" {
+		catalog = e.DefaultCatalog
+	}
+	conn, err := e.connector(catalog)
+	if err != nil {
+		return nil, err
+	}
+	ic, ok := conn.(IngestConnector)
+	if !ok {
+		return nil, fmt.Errorf("engine: catalog %q does not support ingest", catalog)
+	}
+	// Resolve the table only for its schema; release the snapshot pin
+	// immediately — ingestion appends, it does not scan.
+	h, err := conn.TableHandle(catalog, ins.Table.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := h.ScanSchema()
+	if s, ok := h.(SnapshotHandle); ok {
+		s.ReleaseSnapshot()
+	}
+	rows, err := analyzer.AnalyzeInsert(ins, schema)
+	if err != nil {
+		return nil, err
+	}
+	n, err := ic.IngestRows(ctx, catalog, ins.Table.Table, rows)
+	if err != nil {
+		return nil, err
+	}
+	return &IngestResult{Catalog: catalog, Table: ins.Table.Table, Rows: n, Duration: time.Since(start)}, nil
+}

@@ -16,6 +16,7 @@ import (
 	ocsconn "prestocs/internal/connector/ocs"
 	"prestocs/internal/costmodel"
 	"prestocs/internal/engine"
+	"prestocs/internal/ingest"
 	"prestocs/internal/metastore"
 	"prestocs/internal/objstore"
 	"prestocs/internal/ocsserver"
@@ -139,6 +140,27 @@ func StartClusterWith(storageNodes int, cfg Config) (*Cluster, error) {
 		hiveConn.SetMetrics(c.Metrics)
 	}
 	return c, nil
+}
+
+// NewIngester builds an ingester writing through the cluster's OCS
+// frontend and committing to its metastore, and attaches it to the OCS
+// connector so engine.Ingest routes INSERT statements through it.
+func (c *Cluster) NewIngester(opts ingest.Options) *ingest.Ingester {
+	if opts.Telemetry == nil {
+		opts.Telemetry = c.Metrics
+	}
+	ing := ingest.NewIngester(c.Meta, c.OCSCli, opts)
+	c.OCSConn.AttachIngester(ing)
+	return ing
+}
+
+// NewCompactor builds a compactor over the cluster's OCS frontend and
+// metastore. Callers drive it with RunOnce or Start/Stop.
+func (c *Cluster) NewCompactor(opts ingest.CompactorOptions) *ingest.Compactor {
+	if opts.Telemetry == nil {
+		opts.Telemetry = c.Metrics
+	}
+	return ingest.NewCompactor(c.Meta, c.OCSCli, opts)
 }
 
 // FlushNodeCaches empties the footer and hot-page caches of every OCS

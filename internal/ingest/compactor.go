@@ -1,0 +1,248 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"prestocs/internal/column"
+	"prestocs/internal/metastore"
+	"prestocs/internal/objstore"
+	"prestocs/internal/parquetlite"
+	"prestocs/internal/telemetry"
+	"prestocs/internal/types"
+)
+
+// CompactorStore is the storage dependency of the compactor: it reads
+// small objects back, writes the merged object, and physically deletes
+// reaped tombstones. ocsserver.Client satisfies it.
+type CompactorStore interface {
+	ObjectWriter
+	Get(ctx context.Context, bucket, key string) ([]byte, objstore.WorkStats, error)
+	Delete(ctx context.Context, bucket, key string) error
+}
+
+// CompactorOptions tunes a Compactor.
+type CompactorOptions struct {
+	// SmallBytes marks objects below this stored size as merge
+	// candidates (default 1 MiB).
+	SmallBytes int64
+	// MaxMerge caps source objects folded per run (default 16).
+	MaxMerge int
+	// ClusterBy names the column the merged object is re-sorted on to
+	// sharpen its zone map. Empty picks the table's first disjoint key,
+	// else the first column.
+	ClusterBy string
+	// Telemetry, when set, receives compaction counters and the
+	// snapshot-pins gauge.
+	Telemetry *telemetry.Registry
+}
+
+// CompactionResult reports one compaction run.
+type CompactionResult struct {
+	// Merged lists the source objects folded into Output (empty when
+	// there was nothing to do).
+	Merged []string
+	// Output is the new object key ("" when no merge happened).
+	Output string
+	// OutputBytes is the merged object's stored size.
+	OutputBytes int64
+	// Reclaimed counts tombstoned objects physically deleted this run.
+	Reclaimed int
+}
+
+// Compactor merges small objects into larger re-sorted ones in the
+// background. A run is snapshot-safe by construction: the merged data
+// is written under a NEW key, the object-set swap is one atomic
+// metastore commit, and the replaced objects are only physically
+// deleted after every query pin taken before the swap has been
+// released — a scan planned against the old object set keeps reading
+// the old objects untouched.
+type Compactor struct {
+	meta  *metastore.Metastore
+	store CompactorStore
+	opts  CompactorOptions
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+	once sync.Once
+}
+
+// NewCompactor builds a compactor over meta and store.
+func NewCompactor(meta *metastore.Metastore, store CompactorStore, opts CompactorOptions) *Compactor {
+	if opts.SmallBytes <= 0 {
+		opts.SmallBytes = 1 << 20
+	}
+	if opts.MaxMerge <= 0 {
+		opts.MaxMerge = 16
+	}
+	return &Compactor{meta: meta, store: store, opts: opts, stop: make(chan struct{})}
+}
+
+// RunOnce performs at most one merge on the table, then garbage-collects
+// any tombstones no snapshot can still reference.
+func (c *Compactor) RunOnce(ctx context.Context, schema, name string) (CompactionResult, error) {
+	var res CompactionResult
+	t, err := c.meta.Get(schema, name)
+	if err != nil {
+		return res, err
+	}
+	cands := c.candidates(t)
+	if len(cands) >= 2 {
+		out, outBytes, err := c.merge(ctx, t, cands, schema, name)
+		if err != nil {
+			return res, err
+		}
+		res.Merged, res.Output, res.OutputBytes = cands, out, outBytes
+	}
+	res.Reclaimed = c.collectGarbage(ctx, schema, name)
+	if reg := c.opts.Telemetry; reg != nil {
+		label := []string{"table", name}
+		reg.Counter(telemetry.MetricCompactRuns, label...).Inc()
+		reg.Counter(telemetry.MetricCompactMerged, label...).Add(int64(len(res.Merged)))
+		reg.Counter(telemetry.MetricCompactBytes, label...).Add(res.OutputBytes)
+		reg.Counter(telemetry.MetricCompactReclaimed, label...).Add(int64(res.Reclaimed))
+		reg.Gauge(telemetry.MetricSnapshotPins).Set(int64(c.meta.PinnedCount()))
+	}
+	return res, nil
+}
+
+// candidates picks the small objects to merge, oldest-first in live-set
+// order. Objects without recorded sizes (legacy catalogs) are skipped.
+func (c *Compactor) candidates(t *metastore.Table) []string {
+	var out []string
+	for _, o := range t.Objects {
+		b, ok := t.ObjectBytes[o]
+		if !ok || b >= c.opts.SmallBytes {
+			continue
+		}
+		out = append(out, o)
+		if len(out) == c.opts.MaxMerge {
+			break
+		}
+	}
+	return out
+}
+
+// merge reads the candidate objects, re-sorts their union by the
+// clustering key, writes the merged object under a fresh key and
+// commits the swap.
+func (c *Compactor) merge(ctx context.Context, t *metastore.Table, cands []string, schema, name string) (string, int64, error) {
+	page := column.NewPage(t.Columns)
+	allCols := make([]int, t.Columns.Len())
+	for i := range allCols {
+		allCols[i] = i
+	}
+	for _, key := range cands {
+		img, _, err := c.store.Get(ctx, t.Bucket, key)
+		if err != nil {
+			return "", 0, fmt.Errorf("ingest: compaction read %s/%s: %w", t.Bucket, key, err)
+		}
+		r, err := parquetlite.NewReader(img)
+		if err != nil {
+			return "", 0, err
+		}
+		pages, err := r.ReadAll(allCols)
+		if err != nil {
+			return "", 0, err
+		}
+		for _, p := range pages {
+			page.AppendPage(p)
+		}
+	}
+	sorted := c.resort(t, page)
+	builder := NewObjectBuilder(t.Columns, parquetlite.WriterOptions{Codec: t.Codec, RowGroupSize: 4096})
+	if err := builder.AppendPage(sorted); err != nil {
+		return "", 0, err
+	}
+	sealed, err := builder.Seal()
+	if err != nil {
+		return "", 0, err
+	}
+	out := fmt.Sprintf("%s-compact-%06d.pql", name, c.meta.NextObjectSeq(schema, name))
+	if err := c.store.Put(ctx, t.Bucket, out, sealed.Image); err != nil {
+		return "", 0, fmt.Errorf("ingest: storing compacted %s/%s: %w", t.Bucket, out, err)
+	}
+	add := metastore.ObjectAdd{Key: out, Bytes: sealed.Bytes, Rows: sealed.Rows, Stats: sealed.Stats}
+	if _, err := c.meta.CommitObjects(schema, name, []metastore.ObjectAdd{add}, cands); err != nil {
+		return "", 0, err
+	}
+	return out, sealed.Bytes, nil
+}
+
+// resort orders the merged rows by the clustering key so the output
+// object's zone map covers a tight range instead of the union of its
+// sources.
+func (c *Compactor) resort(t *metastore.Table, page *column.Page) *column.Page {
+	col := c.opts.ClusterBy
+	if col == "" {
+		if len(t.DisjointKeys) > 0 {
+			col = t.DisjointKeys[0]
+		} else {
+			col = t.Columns.Columns[0].Name
+		}
+	}
+	ci := t.Columns.IndexOf(col)
+	if ci < 0 {
+		return page
+	}
+	vec := page.Vectors[ci]
+	idx := make([]int, page.NumRows())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		na, nb := vec.IsNull(idx[a]), vec.IsNull(idx[b])
+		if na || nb {
+			return na && !nb // NULLs first, stable among themselves
+		}
+		return types.Compare(vec.Value(idx[a]), vec.Value(idx[b])) < 0
+	})
+	return page.Gather(idx)
+}
+
+// collectGarbage physically deletes tombstoned objects no outstanding
+// pin can reference. Delete failures are swallowed: the object already
+// left the live set, so a leftover is an invisible orphan retried by
+// no one — acceptable, and logged by the storage layer.
+func (c *Compactor) collectGarbage(ctx context.Context, schema, name string) int {
+	reaped := c.meta.ReapTombstones(schema, name)
+	n := 0
+	for _, ts := range reaped {
+		if err := c.store.Delete(ctx, ts.Bucket, ts.Key); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Start launches a background loop compacting the table every interval
+// until Stop (or ctx cancellation).
+func (c *Compactor) Start(ctx context.Context, schema, name string, interval time.Duration) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-c.stop:
+				return
+			case <-tick.C:
+				// Errors are reported through telemetry-visible absence of
+				// progress; the loop keeps trying.
+				_, _ = c.RunOnce(ctx, schema, name)
+			}
+		}
+	}()
+}
+
+// Stop halts background loops and waits for them to exit.
+func (c *Compactor) Stop() {
+	c.once.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}

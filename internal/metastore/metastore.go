@@ -57,6 +57,11 @@ type Table struct {
 	// a pushed-down filter to drop whole splits before scheduling them.
 	// Optional: tables registered without it simply never prune splits.
 	ObjectStats map[string]map[string]ColumnStats `json:"object_stats,omitempty"`
+	// ObjectBytes records each object's stored size, which the compactor
+	// uses to pick small objects without fetching them and CommitObjects
+	// uses to keep TotalBytes exact across removals. Optional for legacy
+	// catalogs; the ingest path always records it.
+	ObjectBytes map[string]int64 `json:"object_bytes,omitempty"`
 	// DisjointKeys lists columns whose values never span objects (e.g.
 	// mesh subdomain ids in simulation outputs). Grouping by such columns
 	// makes per-object aggregation complete, which the OCS connector
@@ -77,11 +82,22 @@ func (t *Table) Stats(column string) (ColumnStats, bool) {
 type Metastore struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
-	// versions counts registration changes per table key. Register and
-	// Drop bump it, so a cached table definition (internal/cache) detects
-	// staleness with one Version call instead of a full re-read. Versions
-	// survive drops: re-registering a dropped table continues its counter.
+	// versions counts registration changes per table key. Register,
+	// CommitObjects and Drop bump it, so a cached table definition
+	// (internal/cache) detects staleness with one Version call instead of
+	// a full re-read. Versions survive drops: re-registering a dropped
+	// table continues its counter.
 	versions map[string]uint64
+	// pins refcounts outstanding snapshot pins per table key and pinned
+	// version; tombstones at versions above a live pin are not reaped.
+	pins     map[string]map[uint64]int
+	pinCount int
+	// tombstones holds removed object keys awaiting physical deletion
+	// (see snapshot.go).
+	tombstones map[string][]Tombstone
+	// objSeq issues process-monotonic object-name sequence numbers per
+	// table (see NextObjectSeq).
+	objSeq map[string]uint64
 }
 
 // New returns an empty metastore.

@@ -343,6 +343,20 @@ func (c *Client) Put(ctx context.Context, bucket, key string, data []byte) error
 	})
 }
 
+// Delete removes an object. Idempotent end to end — deleting a missing
+// key succeeds — so the compactor's garbage collection can retry safely
+// across killed connections.
+func (c *Client) Delete(ctx context.Context, bucket, key string) error {
+	e := protowire.NewEncoder()
+	e.String(1, bucket)
+	e.String(2, key)
+	payload := e.Encoded()
+	return c.retry.Do(ctx, func() error {
+		_, err := c.rpc.Call(ctx, MethodDelete, payload)
+		return err
+	})
+}
+
 // Get downloads a whole object (the no-pushdown path).
 func (c *Client) Get(ctx context.Context, bucket, key string) ([]byte, objstore.WorkStats, error) {
 	e := protowire.NewEncoder()

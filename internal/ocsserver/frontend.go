@@ -20,6 +20,7 @@ const (
 	MethodPut     = "ocs.Put"
 	MethodGet     = "ocs.Get"
 	MethodList    = "ocs.List"
+	MethodDelete  = "ocs.Delete"
 )
 
 // Frontend is the OCS entry point: it accepts Substrait plans, resolves
@@ -69,6 +70,7 @@ func NewFrontend(nodeAddrs []string) (*Frontend, error) {
 	f.rpc.Register(MethodPut, f.handlePut)
 	f.rpc.Register(MethodGet, f.handleGet)
 	f.rpc.Register(MethodList, f.handleList)
+	f.rpc.Register(MethodDelete, f.handleDelete)
 	return f, nil
 }
 
@@ -213,6 +215,28 @@ func (f *Frontend) handleGet(ctx context.Context, payload []byte) ([]byte, error
 		return err
 	})
 	return resp, err
+}
+
+// handleDelete routes a physical object delete to the owning node and
+// forgets its placement entry. Deletes are idempotent end to end (the
+// store treats a missing key as success), so the retry policy is safe.
+func (f *Frontend) handleDelete(ctx context.Context, payload []byte) ([]byte, error) {
+	bucket, key, err := peekBucketKey(payload)
+	if err != nil {
+		return nil, err
+	}
+	node := f.nodeFor(bucket, key)
+	err = f.Retry.Do(ctx, func() error {
+		_, err := f.nodes[node].Call(ctx, NodeMethodDelete, payload)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	delete(f.placement, bucket+"/"+key)
+	f.mu.Unlock()
+	return nil, nil
 }
 
 // handleList merges listings from every node.

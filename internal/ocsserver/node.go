@@ -22,6 +22,7 @@ const (
 	NodeMethodPut     = "ocsnode.Put"
 	NodeMethodGet     = "ocsnode.Get"
 	NodeMethodList    = "ocsnode.List"
+	NodeMethodDelete  = "ocsnode.Delete"
 )
 
 // StorageNode holds objects and executes Substrait plans with the
@@ -110,6 +111,7 @@ func NewStorageNode(id int) *StorageNode {
 	n.rpc.Register(NodeMethodPut, n.handlePut)
 	n.rpc.Register(NodeMethodGet, n.handleGet)
 	n.rpc.Register(NodeMethodList, n.handleList)
+	n.rpc.Register(NodeMethodDelete, n.handleDelete)
 	return n
 }
 
@@ -337,6 +339,37 @@ func decodeWorkStats(d *protowire.Decoder) (objstore.WorkStats, error) {
 		}
 	}
 	return st, nil
+}
+
+// handleDelete removes an object from the store and drops its cached
+// footers and pages. Idempotent: deleting a missing key succeeds, so
+// frontend retries after a killed connection are safe.
+func (n *StorageNode) handleDelete(_ context.Context, payload []byte) ([]byte, error) {
+	d := protowire.NewDecoder(payload)
+	var bucket, key string
+	for !d.Done() {
+		f, ty, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case 1:
+			bucket, err = d.String()
+		case 2:
+			key, err = d.String()
+		default:
+			err = d.Skip(ty)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if bucket == "" || key == "" {
+		return nil, fmt.Errorf("node %d: delete requires bucket and key", n.ID)
+	}
+	n.store.Delete(bucket, key)
+	n.Caches.InvalidateObject(bucket, key)
+	return nil, nil
 }
 
 func (n *StorageNode) handlePut(_ context.Context, payload []byte) ([]byte, error) {

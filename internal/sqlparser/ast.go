@@ -5,6 +5,52 @@ import (
 	"strings"
 )
 
+// Statement is a parsed SQL statement: SELECT or INSERT.
+type Statement interface {
+	fmt.Stringer
+	isStatement()
+}
+
+func (s *SelectStmt) isStatement() {}
+func (s *InsertStmt) isStatement() {}
+
+// InsertStmt is the parsed form of
+// INSERT INTO table [(col, ...)] VALUES (expr, ...), (expr, ...) ...
+type InsertStmt struct {
+	Table TableName
+	// Columns lists the target columns; empty means the full table
+	// schema in declaration order.
+	Columns []string
+	// Rows holds one expression list per VALUES tuple.
+	Rows [][]Node
+}
+
+func (s *InsertStmt) String() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(s.Table.String())
+	if len(s.Columns) > 0 {
+		b.WriteString(" (")
+		b.WriteString(strings.Join(s.Columns, ", "))
+		b.WriteString(")")
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
 // SelectStmt is the parsed form of a SELECT query.
 type SelectStmt struct {
 	Items []SelectItem

@@ -59,6 +59,7 @@ var keywords = map[string]bool{
 	"DESC": true, "DATE": true, "INTERVAL": true, "DAY": true, "TRUE": true,
 	"FALSE": true, "CAST": true, "DOUBLE": true, "BIGINT": true,
 	"VARCHAR": true, "BOOLEAN": true, "JOIN": true, "INNER": true, "ON": true,
+	"INSERT": true, "INTO": true, "VALUES": true,
 }
 
 type lexError struct {

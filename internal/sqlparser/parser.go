@@ -22,6 +22,95 @@ func Parse(sql string) (*SelectStmt, error) {
 	return stmt, nil
 }
 
+// ParseStatement converts one SQL statement — SELECT or INSERT — into
+// an AST. Parse remains the SELECT-only entry point for callers on the
+// read path.
+func ParseStatement(sql string) (Statement, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmt Statement
+	if p.at(tokKeyword, "INSERT") {
+		stmt, err = p.parseInsert()
+	} else {
+		stmt, err = p.parseSelect()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("unexpected trailing input %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+// parseInsert parses INSERT INTO name [(col, ...)] VALUES (expr, ...)
+// [, (expr, ...)]... — multi-row VALUES with arbitrary constant
+// expressions per slot.
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	if _, err := p.expect(tokKeyword, "INSERT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.parseTableName()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: name}
+	if p.accept(tokSymbol, "(") {
+		for {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			stmt.Columns = append(stmt.Columns, col.text)
+			if p.accept(tokSymbol, ")") {
+				break
+			}
+			if _, err := p.expect(tokSymbol, ","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Node
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(tokSymbol, ")") {
+				break
+			}
+			if _, err := p.expect(tokSymbol, ","); err != nil {
+				return nil, err
+			}
+		}
+		if len(stmt.Columns) > 0 && len(row) != len(stmt.Columns) {
+			return nil, p.errf("VALUES tuple has %d expressions for %d columns", len(row), len(stmt.Columns))
+		}
+		if len(stmt.Rows) > 0 && len(row) != len(stmt.Rows[0]) {
+			return nil, p.errf("VALUES tuples differ in arity: %d vs %d", len(row), len(stmt.Rows[0]))
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+	return stmt, nil
+}
+
 type parser struct {
 	toks []token
 	pos  int

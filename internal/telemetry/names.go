@@ -142,4 +142,26 @@ const (
 	MetricPageCacheBytes     = "ocs_cache_page_bytes"
 	MetricPageCacheHitRatio  = "ocs_cache_page_hit_ratio_pct"
 	MetricPageCacheRejected  = "ocs_cache_page_admission_rejected_total"
+
+	// Write path: streaming ingestion (labels: table). Rows/objects/bytes
+	// count committed data — a killed ingest that never reached its
+	// metastore commit contributes nothing. Flush latency is the seal +
+	// put + commit time per object, in microseconds.
+	MetricIngestRows    = "ingest_rows_total"
+	MetricIngestObjects = "ingest_objects_total"
+	MetricIngestBytes   = "ingest_bytes_total"
+	MetricIngestFlushUs = "ingest_flush_us"
+
+	// Background compaction (labels: table). Merged counts source objects
+	// folded into compacted outputs; reclaimed counts tombstoned objects
+	// physically deleted after every pinned snapshot released them.
+	MetricCompactRuns      = "compact_runs_total"
+	MetricCompactMerged    = "compact_merged_objects_total"
+	MetricCompactBytes     = "compact_bytes_written_total"
+	MetricCompactReclaimed = "compact_reclaimed_objects_total"
+
+	// Snapshot pins outstanding across all tables: queries pin the table
+	// version they planned against; compaction defers physical deletes
+	// past the oldest pin.
+	MetricSnapshotPins = "metastore_snapshot_pins"
 )

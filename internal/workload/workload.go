@@ -19,6 +19,7 @@ import (
 
 	"prestocs/internal/column"
 	"prestocs/internal/compress"
+	"prestocs/internal/ingest"
 	"prestocs/internal/metastore"
 	"prestocs/internal/objstore"
 	"prestocs/internal/ocsserver"
@@ -69,11 +70,13 @@ type Dataset struct {
 	TotalRawBytes int64
 }
 
-// Register installs the table under the given catalog name.
+// Register installs the table under the given catalog name, through
+// the ingest path's registration helper (the vet-ingest gate bans
+// assembling catalog entries anywhere else).
 func (d *Dataset) Register(ms *metastore.Metastore, catalog string) error {
 	t := *d.Table
 	t.Schema = catalog
-	return ms.Register(&t)
+	return ingest.RegisterTable(ms, &t)
 }
 
 // UploadOCS stores every object through an OCS frontend.
@@ -96,7 +99,11 @@ func (d *Dataset) UploadObjStore(ctx context.Context, cli *objstore.Client) erro
 	return nil
 }
 
-// build writes pages per file, computes stats and assembles the dataset.
+// build writes pages per file through the ingest writer path (one
+// writer implementation for generators, INSERT and compaction: object
+// images, footer stats and zone maps all come from ingest.ObjectBuilder)
+// and assembles the dataset with exact table-level NDV from the merged
+// per-file distinct sets.
 func build(name, bucket string, cfg Config, schema *types.Schema,
 	genFile func(file int, p *column.Page), disjoint []string, query string) (*Dataset, error) {
 
@@ -109,59 +116,45 @@ func build(name, bucket string, cfg Config, schema *types.Schema,
 	for i := range ndv {
 		ndv[i] = make(map[string]bool)
 	}
-	var objects []string
-	var images [][]byte
+	var keys []string
+	var sealed []ingest.SealedObject
 	for f := 0; f < cfg.Files; f++ {
 		page := column.NewPage(schema)
 		genFile(f, page)
 		d.TotalRawBytes += page.ByteSize()
-		for c := 0; c < schema.Len(); c++ {
-			vec := page.Vectors[c]
-			for i := 0; i < vec.Len(); i++ {
-				if !vec.IsNull(i) {
-					ndv[c][vec.Value(i).String()] = true
-				}
-			}
-		}
-		img, err := parquetlite.WritePages(schema, parquetlite.WriterOptions{
+		b := ingest.NewObjectBuilder(schema, parquetlite.WriterOptions{
 			Codec:        cfg.Codec,
 			RowGroupSize: cfg.RowGroupSize,
-		}, page)
+		})
+		if err := b.AppendPage(page); err != nil {
+			return nil, err
+		}
+		b.MergeDistinctInto(ndv)
+		obj, err := b.Seal()
 		if err != nil {
 			return nil, err
 		}
 		key := fmt.Sprintf("%s-part-%03d.pql", name, f)
-		d.Objects[key] = img
-		objects = append(objects, key)
-		images = append(images, img)
+		d.Objects[key] = obj.Image
+		keys = append(keys, key)
+		sealed = append(sealed, obj)
 	}
-	rows, bytes, colStats, err := metastore.StatsFromObjects(schema, images)
-	if err != nil {
-		return nil, err
-	}
-	objStats, err := metastore.ObjectStatsFromImages(schema, objects, images)
-	if err != nil {
-		return nil, err
-	}
-	stats := make(map[string]metastore.ColumnStats, schema.Len())
+	exactNDV := make(map[string]int64, schema.Len())
 	for c, col := range schema.Columns {
-		cs := colStats[col.Name]
-		cs.NDV = int64(len(ndv[c]))
-		stats[col.Name] = cs
+		exactNDV[col.Name] = int64(len(ndv[c]))
 	}
-	d.Table = &metastore.Table{
+	t, err := ingest.AssembleTable(ingest.TableSpec{
 		Schema:       "default",
 		Name:         name,
-		Columns:      schema,
 		Bucket:       bucket,
-		Objects:      objects,
+		Columns:      schema,
 		Codec:        cfg.Codec,
-		RowCount:     rows,
-		TotalBytes:   bytes,
-		ColumnStats:  stats,
-		ObjectStats:  objStats,
 		DisjointKeys: disjoint,
+	}, keys, sealed, exactNDV)
+	if err != nil {
+		return nil, err
 	}
+	d.Table = t
 	return d, nil
 }
 
